@@ -1,0 +1,327 @@
+//! The comparator: expected vs observed, with debouncing.
+
+use crate::config::{CompareMode, CompareSpec, Configuration};
+use crate::error::DetectedError;
+use observe::ObsValue;
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+use std::collections::BTreeMap;
+
+/// Counters describing comparator activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComparatorStats {
+    /// Comparisons performed.
+    pub comparisons: u64,
+    /// Comparisons that deviated beyond threshold.
+    pub deviations: u64,
+    /// Errors actually reported (after debouncing).
+    pub errors: u64,
+    /// Comparisons skipped because comparison was disabled.
+    pub skipped_disabled: u64,
+}
+
+/// Compares the model's expected outputs with the system's observed
+/// outputs (the `Comparator` component of Fig. 2, with `IEnableCompare`).
+///
+/// ```
+/// use awareness::{Comparator, Configuration, CompareSpec};
+/// use observe::ObsValue;
+/// use simkit::SimTime;
+///
+/// let cfg = Configuration::new()
+///     .observable("volume", CompareSpec::exact().with_max_consecutive(1));
+/// let mut cmp = Comparator::new(cfg);
+/// cmp.set_expected("volume", ObsValue::Num(10.0));
+/// // First deviation: tolerated (max_consecutive = 1).
+/// assert!(cmp.observe(SimTime::ZERO, "volume", ObsValue::Num(0.0)).is_none());
+/// // Second in a row: reported.
+/// assert!(cmp.observe(SimTime::ZERO, "volume", ObsValue::Num(0.0)).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Comparator {
+    config: Configuration,
+    expected: BTreeMap<String, ObsValue>,
+    observed: BTreeMap<String, ObsValue>,
+    consecutive: BTreeMap<String, u32>,
+    last_time_compare: BTreeMap<String, SimTime>,
+    enabled: bool,
+    stats: ComparatorStats,
+}
+
+impl Comparator {
+    /// Creates a comparator with the given configuration, enabled.
+    pub fn new(config: Configuration) -> Self {
+        Comparator {
+            config,
+            expected: BTreeMap::new(),
+            observed: BTreeMap::new(),
+            consecutive: BTreeMap::new(),
+            last_time_compare: BTreeMap::new(),
+            enabled: true,
+            stats: ComparatorStats::default(),
+        }
+    }
+
+    /// Enables or disables comparison (`IEnableCompare`): the model
+    /// executor disables it while the model is in an unstable state.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True when comparison is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &ComparatorStats {
+        &self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Records the model's expected value for an observable.
+    pub fn set_expected(&mut self, name: impl Into<String>, value: ObsValue) {
+        self.expected.insert(name.into(), value);
+    }
+
+    /// The current expected value, if any.
+    pub fn expected(&self, name: &str) -> Option<&ObsValue> {
+        self.expected.get(name)
+    }
+
+    /// The most recent observed value, if any.
+    pub fn observed(&self, name: &str) -> Option<&ObsValue> {
+        self.observed.get(name)
+    }
+
+    /// Ingests an observed value; for event-based observables this
+    /// performs a comparison and may report an error.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        name: &str,
+        value: ObsValue,
+    ) -> Option<DetectedError> {
+        self.observed.insert(name.to_owned(), value);
+        let spec = self.config.spec(name);
+        match spec.mode {
+            CompareMode::EventBased => self.compare_one(now, name, spec),
+            CompareMode::TimeBased { .. } => None,
+        }
+    }
+
+    /// Performs due time-based comparisons at `now`.
+    pub fn tick(&mut self, now: SimTime) -> Vec<DetectedError> {
+        let mut out = Vec::new();
+        let names: Vec<String> = self
+            .config
+            .declared()
+            .filter_map(|(name, spec)| match spec.mode {
+                CompareMode::TimeBased { period } => {
+                    let last = self
+                        .last_time_compare
+                        .get(name)
+                        .copied()
+                        .unwrap_or(SimTime::ZERO);
+                    if now.since(last) >= period || (last == SimTime::ZERO && now >= SimTime::ZERO + period)
+                    {
+                        Some(name.to_owned())
+                    } else {
+                        None
+                    }
+                }
+                CompareMode::EventBased => None,
+            })
+            .collect();
+        for name in names {
+            let spec = self.config.spec(&name);
+            self.last_time_compare.insert(name.clone(), now);
+            if let Some(err) = self.compare_one(now, &name, spec) {
+                out.push(err);
+            }
+        }
+        out
+    }
+
+    /// Clears deviation counters and cached values (after recovery).
+    pub fn reset(&mut self) {
+        self.expected.clear();
+        self.observed.clear();
+        self.consecutive.clear();
+        self.last_time_compare.clear();
+    }
+
+    fn compare_one(
+        &mut self,
+        now: SimTime,
+        name: &str,
+        spec: CompareSpec,
+    ) -> Option<DetectedError> {
+        if !self.enabled {
+            self.stats.skipped_disabled += 1;
+            return None;
+        }
+        let (expected, actual) = match (self.expected.get(name), self.observed.get(name)) {
+            (Some(e), Some(a)) => (e.clone(), a.clone()),
+            // Nothing to compare against yet.
+            _ => return None,
+        };
+        self.stats.comparisons += 1;
+        let deviation = expected.distance(&actual);
+        if deviation <= spec.threshold {
+            self.consecutive.insert(name.to_owned(), 0);
+            return None;
+        }
+        self.stats.deviations += 1;
+        let count = self.consecutive.entry(name.to_owned()).or_insert(0);
+        *count += 1;
+        if *count > spec.max_consecutive {
+            let consecutive = *count;
+            self.consecutive.insert(name.to_owned(), 0);
+            self.stats.errors += 1;
+            Some(DetectedError {
+                time: now,
+                observable: name.to_owned(),
+                expected,
+                actual,
+                deviation,
+                consecutive,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimDuration;
+
+    fn num(x: f64) -> ObsValue {
+        ObsValue::Num(x)
+    }
+
+    #[test]
+    fn matching_values_are_silent() {
+        let mut c = Comparator::new(Configuration::new());
+        c.set_expected("v", num(5.0));
+        assert!(c.observe(SimTime::ZERO, "v", num(5.0)).is_none());
+        assert_eq!(c.stats().comparisons, 1);
+        assert_eq!(c.stats().deviations, 0);
+    }
+
+    #[test]
+    fn eager_spec_reports_first_deviation() {
+        let mut c = Comparator::new(Configuration::new());
+        c.set_expected("v", num(5.0));
+        let err = c.observe(SimTime::from_millis(1), "v", num(9.0)).unwrap();
+        assert_eq!(err.deviation, 4.0);
+        assert_eq!(err.consecutive, 1);
+        assert_eq!(c.stats().errors, 1);
+    }
+
+    #[test]
+    fn threshold_tolerates_small_deviation() {
+        let cfg = Configuration::new()
+            .observable("v", CompareSpec::exact().with_threshold(2.0));
+        let mut c = Comparator::new(cfg);
+        c.set_expected("v", num(5.0));
+        assert!(c.observe(SimTime::ZERO, "v", num(6.5)).is_none());
+        assert!(c.observe(SimTime::ZERO, "v", num(8.0)).is_some());
+    }
+
+    #[test]
+    fn consecutive_deviation_debouncing() {
+        let cfg = Configuration::new()
+            .observable("v", CompareSpec::exact().with_max_consecutive(2));
+        let mut c = Comparator::new(cfg);
+        c.set_expected("v", num(1.0));
+        assert!(c.observe(SimTime::ZERO, "v", num(0.0)).is_none()); // 1st
+        assert!(c.observe(SimTime::ZERO, "v", num(0.0)).is_none()); // 2nd
+        let err = c.observe(SimTime::ZERO, "v", num(0.0)).unwrap(); // 3rd
+        assert_eq!(err.consecutive, 3);
+    }
+
+    #[test]
+    fn matching_value_resets_streak() {
+        let cfg = Configuration::new()
+            .observable("v", CompareSpec::exact().with_max_consecutive(2));
+        let mut c = Comparator::new(cfg);
+        c.set_expected("v", num(1.0));
+        c.observe(SimTime::ZERO, "v", num(0.0));
+        c.observe(SimTime::ZERO, "v", num(0.0));
+        // Transient resolves: match resets the streak.
+        c.observe(SimTime::ZERO, "v", num(1.0));
+        assert!(c.observe(SimTime::ZERO, "v", num(0.0)).is_none());
+        assert_eq!(c.stats().errors, 0);
+    }
+
+    #[test]
+    fn disabled_comparator_skips() {
+        let mut c = Comparator::new(Configuration::new());
+        c.set_expected("v", num(1.0));
+        c.set_enabled(false);
+        assert!(!c.is_enabled());
+        assert!(c.observe(SimTime::ZERO, "v", num(9.0)).is_none());
+        assert_eq!(c.stats().skipped_disabled, 1);
+        c.set_enabled(true);
+        assert!(c.observe(SimTime::ZERO, "v", num(9.0)).is_some());
+    }
+
+    #[test]
+    fn text_values_compare_symbolically() {
+        let mut c = Comparator::new(Configuration::new());
+        c.set_expected("mode", ObsValue::Text("teletext".into()));
+        assert!(c
+            .observe(SimTime::ZERO, "mode", ObsValue::Text("teletext".into()))
+            .is_none());
+        let err = c
+            .observe(SimTime::ZERO, "mode", ObsValue::Text("video".into()))
+            .unwrap();
+        assert!(err.deviation.is_infinite());
+    }
+
+    #[test]
+    fn time_based_compares_on_tick_only() {
+        let cfg = Configuration::new().observable(
+            "v",
+            CompareSpec::exact().time_based(SimDuration::from_millis(10)),
+        );
+        let mut c = Comparator::new(cfg);
+        c.set_expected("v", num(1.0));
+        assert!(c.observe(SimTime::from_millis(1), "v", num(0.0)).is_none());
+        // Before the period: no comparison.
+        assert!(c.tick(SimTime::from_millis(5)).is_empty());
+        // At the period: compares and reports.
+        let errs = c.tick(SimTime::from_millis(10));
+        assert_eq!(errs.len(), 1);
+        // Next period not due yet.
+        assert!(c.tick(SimTime::from_millis(15)).is_empty());
+        let errs = c.tick(SimTime::from_millis(20));
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn unknown_observable_waits_for_both_sides() {
+        let mut c = Comparator::new(Configuration::new());
+        assert!(c.observe(SimTime::ZERO, "v", num(1.0)).is_none());
+        assert_eq!(c.stats().comparisons, 0);
+        c.set_expected("v", num(2.0));
+        assert!(c.observe(SimTime::ZERO, "v", num(1.0)).is_some());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = Comparator::new(Configuration::new());
+        c.set_expected("v", num(1.0));
+        c.observe(SimTime::ZERO, "v", num(1.0));
+        c.reset();
+        assert!(c.expected("v").is_none());
+        assert!(c.observed("v").is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! The Controller of Fig. 2: lifecycle and error routing.
+
+use crate::error::DetectedError;
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+
+/// Monitor lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonitorState {
+    /// Created, not yet started.
+    Idle,
+    /// Actively monitoring.
+    Running,
+    /// Stopped (messages are ignored).
+    Stopped,
+}
+
+/// Initiates and controls all framework components and routes detected
+/// errors onward (`IErrorNotify`) — in the full closed loop, toward
+/// diagnosis and recovery.
+#[derive(Debug)]
+pub struct Controller {
+    state: MonitorState,
+    errors: Vec<DetectedError>,
+    started_at: Option<SimTime>,
+    notifications: u64,
+}
+
+impl Default for Controller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Controller {
+    /// Creates an idle controller.
+    pub fn new() -> Self {
+        Controller {
+            state: MonitorState::Idle,
+            errors: Vec::new(),
+            started_at: None,
+            notifications: 0,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> MonitorState {
+        self.state
+    }
+
+    /// Starts monitoring at `now`.
+    pub fn start(&mut self, now: SimTime) {
+        self.state = MonitorState::Running;
+        self.started_at = Some(now);
+    }
+
+    /// Stops monitoring.
+    pub fn stop(&mut self) {
+        self.state = MonitorState::Stopped;
+    }
+
+    /// True while running.
+    pub fn is_running(&self) -> bool {
+        self.state == MonitorState::Running
+    }
+
+    /// When monitoring started, if ever.
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    /// Receives an error notification from the comparator.
+    pub fn notify(&mut self, error: DetectedError) {
+        self.notifications += 1;
+        self.errors.push(error);
+    }
+
+    /// Errors accumulated (oldest first).
+    pub fn errors(&self) -> &[DetectedError] {
+        &self.errors
+    }
+
+    /// Removes and returns accumulated errors.
+    pub fn drain_errors(&mut self) -> Vec<DetectedError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    /// Total notifications ever received.
+    pub fn notifications(&self) -> u64 {
+        self.notifications
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observe::ObsValue;
+
+    fn err() -> DetectedError {
+        DetectedError {
+            time: SimTime::ZERO,
+            observable: "x".into(),
+            expected: ObsValue::Num(1.0),
+            actual: ObsValue::Num(0.0),
+            deviation: 1.0,
+            consecutive: 1,
+        }
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut c = Controller::new();
+        assert_eq!(c.state(), MonitorState::Idle);
+        assert!(!c.is_running());
+        c.start(SimTime::from_millis(3));
+        assert!(c.is_running());
+        assert_eq!(c.started_at(), Some(SimTime::from_millis(3)));
+        c.stop();
+        assert_eq!(c.state(), MonitorState::Stopped);
+    }
+
+    #[test]
+    fn error_accumulation_and_drain() {
+        let mut c = Controller::new();
+        c.notify(err());
+        c.notify(err());
+        assert_eq!(c.errors().len(), 2);
+        assert_eq!(c.notifications(), 2);
+        let drained = c.drain_errors();
+        assert_eq!(drained.len(), 2);
+        assert!(c.errors().is_empty());
+        assert_eq!(c.notifications(), 2);
+    }
+}

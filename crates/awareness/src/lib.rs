@@ -1,0 +1,50 @@
+//! # awareness — the run-time awareness framework
+//!
+//! The core artifact of the Trader project reproduction (Brinksma & Hooman,
+//! DATE 2008): a framework that executes a **model of desired behaviour**
+//! next to a running System Under Observation (SUO) and compares the two —
+//! "closing the loop" of feedback control around a software system
+//! (paper Fig. 1), with the component design of paper Fig. 2:
+//!
+//! ```text
+//!   SUO ──input events──► InputObserver ──► ModelExecutor ─┐ expected
+//!    │                                                     ▼
+//!    └───output events──► OutputObserver ──────────► Comparator ─► errors
+//!                                                        ▲
+//!                 Configuration (thresholds, modes) ──────┘
+//!                 Controller (lifecycle, error routing)
+//! ```
+//!
+//! The SUO and the monitor live on opposite sides of a **process
+//! boundary** (Unix domain sockets in the original; a simulated
+//! [`DelayChannel`] here) — which is why the [`Comparator`] must not be too
+//! eager: small communication delays cause transient deviations. Per the
+//! paper, every observable carries (1) a deviation **threshold** and (2) a
+//! **maximum number of consecutive deviations** before an error is
+//! reported, plus time-based vs event-based comparison and enable windows
+//! driven by the model's *unstable* states.
+//!
+//! See [`AwarenessMonitor`] for the assembled framework.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod comparator;
+pub mod config;
+pub mod controller;
+pub mod error;
+pub mod message;
+pub mod model_executor;
+pub mod monitor;
+pub mod observers;
+
+pub use channel::DelayChannel;
+pub use comparator::{Comparator, ComparatorStats};
+pub use config::{CompareMode, CompareSpec, Configuration};
+pub use controller::Controller;
+pub use error::DetectedError;
+pub use message::Message;
+pub use model_executor::ModelExecutor;
+pub use monitor::{AwarenessMonitor, MonitorBuilder};
+pub use observers::{InputObserver, OutputObserver};

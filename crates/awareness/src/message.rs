@@ -1,0 +1,97 @@
+//! The protocol spoken across the process boundary.
+//!
+//! Mirrors the interfaces of paper Fig. 2: `IInputEvent` (SUO → Input
+//! Observer), `IOutputEvent` (SUO → Output Observer), and `IControl`
+//! lifecycle messages.
+
+use observe::ObsValue;
+use serde::{Deserialize, Serialize};
+use statemachine::Value;
+
+/// A message crossing the SUO ↔ monitor boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// An input event observed at the SUO (e.g. a remote-control key).
+    Input {
+        /// Event name, matched against the specification model's triggers.
+        event: String,
+        /// Optional payload.
+        payload: Option<Value>,
+    },
+    /// An output value observed at the SUO.
+    Output {
+        /// Observable name.
+        name: String,
+        /// Observed value.
+        value: ObsValue,
+    },
+    /// Lifecycle control.
+    Control(ControlMessage),
+}
+
+/// Lifecycle control messages (the `IControl` interface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMessage {
+    /// Start monitoring.
+    Start,
+    /// Stop monitoring (messages are dropped while stopped).
+    Stop,
+    /// Reset comparator state (e.g. after a recovery action).
+    Reset,
+}
+
+impl Message {
+    /// Convenience constructor for an input message.
+    pub fn input(event: impl Into<String>) -> Self {
+        Message::Input {
+            event: event.into(),
+            payload: None,
+        }
+    }
+
+    /// Convenience constructor for an input message with payload.
+    pub fn input_with(event: impl Into<String>, payload: impl Into<Value>) -> Self {
+        Message::Input {
+            event: event.into(),
+            payload: Some(payload.into()),
+        }
+    }
+
+    /// Convenience constructor for an output message.
+    pub fn output(name: impl Into<String>, value: impl Into<ObsValue>) -> Self {
+        Message::Output {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(
+            Message::input("power"),
+            Message::Input {
+                event: "power".into(),
+                payload: None
+            }
+        );
+        assert_eq!(
+            Message::input_with("digit", 7),
+            Message::Input {
+                event: "digit".into(),
+                payload: Some(Value::Int(7))
+            }
+        );
+        assert_eq!(
+            Message::output("volume", 10.0),
+            Message::Output {
+                name: "volume".into(),
+                value: ObsValue::Num(10.0)
+            }
+        );
+    }
+}

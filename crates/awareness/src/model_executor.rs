@@ -1,0 +1,171 @@
+//! The Model Executor of Fig. 2: runs the specification model at run time.
+//!
+//! In the original framework this component executes C code generated from
+//! a Stateflow model; here it executes a [`statemachine::Machine`]
+//! directly. Input events observed at the SUO drive the model; the model's
+//! outputs become the comparator's *expected* values (`ISpecInfo`), and the
+//! model's unstable states drive the comparator's enable flag
+//! (`IEnableCompare`).
+
+use observe::ObsValue;
+use simkit::SimTime;
+use statemachine::{Event, Executor, Machine, Value};
+
+/// Converts a model value to an observable value.
+fn to_obs(value: &Value) -> ObsValue {
+    match value {
+        Value::Str(s) => ObsValue::Text(s.clone()),
+        other => ObsValue::Num(other.as_f64().unwrap_or(f64::NAN)),
+    }
+}
+
+/// Executes the specification model against observed input events.
+#[derive(Debug)]
+pub struct ModelExecutor<'m> {
+    executor: Executor<'m>,
+    inputs_processed: u64,
+}
+
+impl<'m> ModelExecutor<'m> {
+    /// Creates and starts an executor for `machine`.
+    pub fn new(machine: &'m Machine) -> Self {
+        let mut executor = Executor::new(machine);
+        executor.start();
+        ModelExecutor {
+            executor,
+            inputs_processed: 0,
+        }
+    }
+
+    /// The wrapped state-machine executor.
+    pub fn executor(&self) -> &Executor<'m> {
+        &self.executor
+    }
+
+    /// Input events processed so far.
+    pub fn inputs_processed(&self) -> u64 {
+        self.inputs_processed
+    }
+
+    /// Advances model time, firing due timed transitions; returns the
+    /// expected outputs produced by those timers.
+    pub fn advance_to(&mut self, to: SimTime) -> Vec<(String, ObsValue)> {
+        if to > self.executor.now() {
+            self.executor.advance_to(to);
+        }
+        self.drain_expected()
+    }
+
+    /// Processes one observed input event at `at`; returns the expected
+    /// outputs the model produced in response.
+    pub fn on_input(
+        &mut self,
+        at: SimTime,
+        event: &str,
+        payload: Option<Value>,
+    ) -> Vec<(String, ObsValue)> {
+        self.inputs_processed += 1;
+        let ev = Event {
+            name: event.to_owned(),
+            payload,
+        };
+        // The model may lag behind if messages arrived out of order;
+        // clamp to its own now (model time is monotone).
+        let at = at.max(self.executor.now());
+        self.executor.step_at(at, &ev);
+        self.drain_expected()
+    }
+
+    /// Whether comparison should currently be enabled (model stable).
+    pub fn compare_enabled(&self) -> bool {
+        !self.executor.in_unstable_state()
+    }
+
+    /// When the model's next timer fires (for host scheduling).
+    pub fn next_timer_due(&self) -> Option<SimTime> {
+        self.executor.next_timer_due()
+    }
+
+    /// Model evaluation errors (model bugs, not SUO errors).
+    pub fn model_errors(&self) -> &[String] {
+        self.executor.errors()
+    }
+
+    fn drain_expected(&mut self) -> Vec<(String, ObsValue)> {
+        self.executor
+            .drain_outputs()
+            .into_iter()
+            .map(|rec| (rec.name, to_obs(&rec.value)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimDuration;
+    use statemachine::MachineBuilder;
+
+    fn machine() -> Machine {
+        MachineBuilder::new("tv")
+            .state("standby")
+            .state("on")
+            .state("switching")
+            .unstable("switching")
+            .initial("standby")
+            .output("screen")
+            .on("standby", "power", "switching", |t| t)
+            .after("switching", SimDuration::from_millis(100), "on", |t| {
+                t.output_const("screen", "video")
+            })
+            .on("on", "power", "standby", |t| t.output_const("screen", "off"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inputs_produce_expected_outputs() {
+        let m = machine();
+        let mut me = ModelExecutor::new(&m);
+        let out = me.on_input(SimTime::ZERO, "power", None);
+        assert!(out.is_empty()); // switching produces nothing yet
+        assert!(!me.compare_enabled()); // unstable while switching
+        let out = me.advance_to(SimTime::from_millis(200));
+        assert_eq!(out, vec![("screen".to_owned(), ObsValue::Text("video".into()))]);
+        assert!(me.compare_enabled());
+        assert_eq!(me.inputs_processed(), 1);
+    }
+
+    #[test]
+    fn numeric_values_convert() {
+        let m = MachineBuilder::new("v")
+            .state("a")
+            .initial("a")
+            .output("x")
+            .on("a", "go", "a", |t| t.output_const("x", 5))
+            .build()
+            .unwrap();
+        let mut me = ModelExecutor::new(&m);
+        let out = me.on_input(SimTime::ZERO, "go", None);
+        assert_eq!(out, vec![("x".to_owned(), ObsValue::Num(5.0))]);
+    }
+
+    #[test]
+    fn late_messages_clamp_to_model_time() {
+        let m = machine();
+        let mut me = ModelExecutor::new(&m);
+        me.advance_to(SimTime::from_millis(50));
+        // A message stamped earlier than model time must not rewind it.
+        let _ = me.on_input(SimTime::from_millis(10), "power", None);
+        assert!(me.executor().now() >= SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn next_timer_exposed() {
+        let m = machine();
+        let mut me = ModelExecutor::new(&m);
+        assert_eq!(me.next_timer_due(), None);
+        me.on_input(SimTime::ZERO, "power", None);
+        assert_eq!(me.next_timer_due(), Some(SimTime::from_millis(100)));
+    }
+}

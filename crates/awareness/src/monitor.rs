@@ -1,0 +1,445 @@
+//! The assembled awareness monitor (paper Fig. 2, all components wired).
+
+use crate::channel::DelayChannel;
+use crate::comparator::{Comparator, ComparatorStats};
+use crate::config::Configuration;
+use crate::controller::Controller;
+use crate::error::DetectedError;
+use crate::message::Message;
+use crate::model_executor::ModelExecutor;
+use crate::observers::{InputObserver, OutputObserver};
+use observe::Observation;
+use simkit::{SimDuration, SimTime};
+use statemachine::Machine;
+
+/// Builds an [`AwarenessMonitor`].
+///
+/// ```
+/// use awareness::{MonitorBuilder, Configuration};
+/// use statemachine::MachineBuilder;
+/// use simkit::SimDuration;
+///
+/// let machine = MachineBuilder::new("m")
+///     .state("off").state("on").initial("off")
+///     .output("light")
+///     .on("off", "press", "on", |t| t.output_const("light", 1))
+///     .on("on", "press", "off", |t| t.output_const("light", 0))
+///     .build().unwrap();
+///
+/// let monitor = MonitorBuilder::new(&machine)
+///     .configuration(Configuration::new())
+///     .input_delay(SimDuration::from_micros(100))
+///     .output_delay(SimDuration::from_micros(100))
+///     .build();
+/// # let _ = monitor;
+/// ```
+#[derive(Debug)]
+pub struct MonitorBuilder<'m> {
+    machine: &'m Machine,
+    configuration: Configuration,
+    input_delay: SimDuration,
+    output_delay: SimDuration,
+    jitter: SimDuration,
+    loss: f64,
+    seed: u64,
+}
+
+impl<'m> MonitorBuilder<'m> {
+    /// Starts a builder for a monitor running `machine` as specification.
+    pub fn new(machine: &'m Machine) -> Self {
+        MonitorBuilder {
+            machine,
+            configuration: Configuration::new(),
+            input_delay: SimDuration::ZERO,
+            output_delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the comparator configuration.
+    pub fn configuration(mut self, configuration: Configuration) -> Self {
+        self.configuration = configuration;
+        self
+    }
+
+    /// Base delay on the input-event channel.
+    pub fn input_delay(mut self, delay: SimDuration) -> Self {
+        self.input_delay = delay;
+        self
+    }
+
+    /// Base delay on the output-event channel.
+    pub fn output_delay(mut self, delay: SimDuration) -> Self {
+        self.output_delay = delay;
+        self
+    }
+
+    /// Uniform jitter added to both channels.
+    pub fn jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Message loss probability on the *output* channel.
+    ///
+    /// Input events are never dropped: a lost input would desynchronize
+    /// the model executor from the SUO permanently, so the framework
+    /// (like the original's Unix-domain-socket transport) requires a
+    /// reliable input path; only output observations may be lossy.
+    pub fn loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Seed for channel jitter/loss determinism.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Assembles and starts the monitor.
+    pub fn build(self) -> AwarenessMonitor<'m> {
+        let mut input_channel = DelayChannel::new(self.input_delay);
+        let mut output_channel = DelayChannel::new(self.output_delay);
+        if !self.jitter.is_zero() {
+            input_channel = input_channel.with_jitter(self.jitter, self.seed.wrapping_add(1));
+            output_channel = output_channel.with_jitter(self.jitter, self.seed.wrapping_add(2));
+        }
+        if self.loss > 0.0 {
+            output_channel = output_channel.with_loss(self.loss);
+        }
+        let mut controller = Controller::new();
+        controller.start(SimTime::ZERO);
+        let model = ModelExecutor::new(self.machine);
+        let mut comparator = Comparator::new(self.configuration);
+        comparator.set_enabled(model.compare_enabled());
+        AwarenessMonitor {
+            input_observer: InputObserver::new(input_channel),
+            output_observer: OutputObserver::new(output_channel),
+            model,
+            comparator,
+            controller,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+/// The run-time awareness monitor: observers + model executor + comparator
+/// + controller across a simulated process boundary.
+///
+/// Drive it by offering SUO observations ([`AwarenessMonitor::offer`]) and
+/// advancing time ([`AwarenessMonitor::advance_to`]); read back detected
+/// errors with [`AwarenessMonitor::drain_errors`].
+#[derive(Debug)]
+pub struct AwarenessMonitor<'m> {
+    input_observer: InputObserver,
+    output_observer: OutputObserver,
+    model: ModelExecutor<'m>,
+    comparator: Comparator,
+    controller: Controller,
+    now: SimTime,
+}
+
+impl<'m> AwarenessMonitor<'m> {
+    /// Offers one SUO observation to the observers.
+    ///
+    /// Key presses go to the input channel, outputs to the output channel;
+    /// everything else is ignored by this monitor (other detectors may
+    /// want it).
+    pub fn offer(&mut self, observation: &Observation) {
+        if !self.controller.is_running() {
+            return;
+        }
+        if !self.input_observer.offer(observation) {
+            self.output_observer.offer(observation);
+        }
+    }
+
+    /// Sends an input event directly (bypassing observation conversion).
+    pub fn offer_input(&mut self, now: SimTime, event: impl Into<String>) {
+        if self.controller.is_running() {
+            self.input_observer.send_input(now, event);
+        }
+    }
+
+    /// Processes everything due up to `to`: delivers channel messages in
+    /// time order, drives the model, compares outputs, and collects errors.
+    pub fn advance_to(&mut self, to: SimTime) {
+        loop {
+            let t_in = self.input_observer.channel_mut().next_delivery();
+            let t_out = self.output_observer.channel_mut().next_delivery();
+            let t_timer = self.model.next_timer_due().filter(|t| *t > self.model.executor().now());
+            // Earliest pending activity; tie-break input < output < timer.
+            let candidates = [
+                (t_in, 0u8),
+                (t_out, 1u8),
+                (t_timer, 2u8),
+            ];
+            let next = candidates
+                .iter()
+                .filter_map(|(t, k)| t.map(|t| (t, *k)))
+                .min();
+            let Some((t, kind)) = next else { break };
+            if t > to {
+                break;
+            }
+            self.now = t;
+            match kind {
+                0 => {
+                    let msgs = self.input_observer.channel_mut().deliver_due(t);
+                    for (at, msg) in msgs {
+                        self.handle_message(at, msg);
+                    }
+                }
+                1 => {
+                    let msgs = self.output_observer.channel_mut().deliver_due(t);
+                    for (at, msg) in msgs {
+                        self.handle_message(at, msg);
+                    }
+                }
+                _ => {
+                    let expected = self.model.advance_to(t);
+                    self.apply_expected(expected);
+                }
+            }
+        }
+        self.now = to;
+        let expected = self.model.advance_to(to);
+        self.apply_expected(expected);
+        let errs = self.comparator.tick(to);
+        for e in errs {
+            self.controller.notify(e);
+        }
+    }
+
+    fn handle_message(&mut self, at: SimTime, msg: Message) {
+        match msg {
+            Message::Input { event, payload } => {
+                let expected = self.model.on_input(at, &event, payload);
+                self.apply_expected(expected);
+            }
+            Message::Output { name, value } => {
+                // Keep the model (and its expected values) current first.
+                let expected = self.model.advance_to(at.max(self.model.executor().now()));
+                self.apply_expected(expected);
+                if let Some(err) = self.comparator.observe(at, &name, value) {
+                    self.controller.notify(err);
+                }
+            }
+            Message::Control(_) => {}
+        }
+    }
+
+    fn apply_expected(&mut self, expected: Vec<(String, observe::ObsValue)>) {
+        for (name, value) in expected {
+            self.comparator.set_expected(name, value);
+        }
+        self.comparator.set_enabled(self.model.compare_enabled());
+    }
+
+    /// Detected errors so far (oldest first).
+    pub fn errors(&self) -> &[DetectedError] {
+        self.controller.errors()
+    }
+
+    /// Removes and returns detected errors.
+    pub fn drain_errors(&mut self) -> Vec<DetectedError> {
+        self.controller.drain_errors()
+    }
+
+    /// Comparator activity counters.
+    pub fn comparator_stats(&self) -> &ComparatorStats {
+        self.comparator.stats()
+    }
+
+    /// The model executor (e.g. to inspect the model's state in tests).
+    pub fn model(&self) -> &ModelExecutor<'m> {
+        &self.model
+    }
+
+    /// The controller (lifecycle, notification counts).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Stops the monitor; offered observations are dropped.
+    pub fn stop(&mut self) {
+        self.controller.stop();
+    }
+
+    /// Resets comparator state (e.g. after recovery).
+    pub fn reset_comparator(&mut self) {
+        self.comparator.reset();
+    }
+
+    /// Current monitor time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompareSpec;
+    use observe::{ObsValue, ObservationKind};
+    use statemachine::MachineBuilder;
+
+    fn toggle_machine() -> Machine {
+        MachineBuilder::new("toggle")
+            .state("off")
+            .state("on")
+            .initial("off")
+            .output("light")
+            .on("off", "press", "on", |t| t.output_const("light", 1))
+            .on("on", "press", "off", |t| t.output_const("light", 0))
+            .build()
+            .unwrap()
+    }
+
+    fn key(at_ms: u64) -> Observation {
+        Observation::key_press(SimTime::from_millis(at_ms), "rc", "press", None)
+    }
+
+    fn light(at_ms: u64, v: f64) -> Observation {
+        Observation::new(
+            SimTime::from_millis(at_ms),
+            "suo",
+            ObservationKind::Output {
+                name: "light".into(),
+                value: ObsValue::Num(v),
+            },
+        )
+    }
+
+    #[test]
+    fn healthy_suo_raises_no_errors() {
+        let m = toggle_machine();
+        let mut mon = MonitorBuilder::new(&m).build();
+        // SUO behaves exactly like the model.
+        mon.offer(&key(10));
+        mon.offer(&light(10, 1.0));
+        mon.offer(&key(20));
+        mon.offer(&light(20, 0.0));
+        mon.advance_to(SimTime::from_millis(30));
+        assert!(mon.errors().is_empty(), "{:?}", mon.errors());
+        assert!(mon.comparator_stats().comparisons >= 2);
+    }
+
+    #[test]
+    fn faulty_suo_is_detected() {
+        let m = toggle_machine();
+        let mut mon = MonitorBuilder::new(&m).build();
+        mon.offer(&key(10));
+        // Fault: light stays off.
+        mon.offer(&light(10, 0.0));
+        mon.advance_to(SimTime::from_millis(20));
+        let errs = mon.drain_errors();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].observable, "light");
+        assert_eq!(errs[0].expected, ObsValue::Num(1.0));
+    }
+
+    #[test]
+    fn delay_causes_false_error_when_eager() {
+        let m = toggle_machine();
+        // Output channel is slow: the model switches before the system's
+        // (correct) old output arrives.
+        let mut mon = MonitorBuilder::new(&m)
+            .output_delay(SimDuration::from_millis(5))
+            .build();
+        // System output of the *previous* state arrives after the key.
+        mon.offer(&light(9, 0.0)); // correct for "off", delivered at 14
+        mon.offer(&key(10)); // model switches to on at 10, expects 1
+        mon.advance_to(SimTime::from_millis(20));
+        // Eager comparator (default spec): false error.
+        assert_eq!(mon.errors().len(), 1);
+    }
+
+    #[test]
+    fn debounced_comparator_tolerates_delay_transient() {
+        let m = toggle_machine();
+        let cfg = Configuration::new()
+            .with_default_spec(CompareSpec::exact().with_max_consecutive(1));
+        let mut mon = MonitorBuilder::new(&m)
+            .configuration(cfg)
+            .output_delay(SimDuration::from_millis(5))
+            .build();
+        mon.offer(&light(9, 0.0)); // stale but transient
+        mon.offer(&key(10));
+        mon.offer(&light(11, 1.0)); // fresh, correct
+        mon.advance_to(SimTime::from_millis(20));
+        assert!(mon.errors().is_empty(), "{:?}", mon.errors());
+        // But a persistent fault is still caught.
+        mon.offer(&key(30)); // expect 0
+        mon.offer(&light(31, 1.0));
+        mon.offer(&light(32, 1.0));
+        mon.advance_to(SimTime::from_millis(40));
+        assert_eq!(mon.errors().len(), 1);
+    }
+
+    #[test]
+    fn stopped_monitor_ignores_observations() {
+        let m = toggle_machine();
+        let mut mon = MonitorBuilder::new(&m).build();
+        mon.stop();
+        mon.offer(&key(10));
+        mon.offer(&light(10, 55.0));
+        mon.advance_to(SimTime::from_millis(20));
+        assert!(mon.errors().is_empty());
+        assert_eq!(mon.comparator_stats().comparisons, 0);
+    }
+
+    #[test]
+    fn timed_model_behaviour_generates_expected_values() {
+        let m = MachineBuilder::new("sleep")
+            .state("active")
+            .state("asleep")
+            .initial("active")
+            .output("power")
+            .after("active", SimDuration::from_millis(100), "asleep", |t| {
+                t.output_const("power", 0)
+            })
+            .build()
+            .unwrap();
+        let mut mon = MonitorBuilder::new(&m).build();
+        // SUO correctly powers down at 100ms.
+        mon.offer(&Observation::new(
+            SimTime::from_millis(100),
+            "suo",
+            ObservationKind::Output {
+                name: "power".into(),
+                value: ObsValue::Num(0.0),
+            },
+        ));
+        mon.advance_to(SimTime::from_millis(200));
+        assert!(mon.errors().is_empty(), "{:?}", mon.errors());
+        // SUO that *fails* to power down is caught.
+        let mut mon2 = MonitorBuilder::new(&m).build();
+        mon2.offer(&Observation::new(
+            SimTime::from_millis(100),
+            "suo",
+            ObservationKind::Output {
+                name: "power".into(),
+                value: ObsValue::Num(1.0),
+            },
+        ));
+        mon2.advance_to(SimTime::from_millis(200));
+        assert_eq!(mon2.errors().len(), 1);
+    }
+
+    #[test]
+    fn reset_comparator_clears_streaks() {
+        let m = toggle_machine();
+        let mut mon = MonitorBuilder::new(&m).build();
+        mon.offer(&key(10));
+        mon.offer(&light(10, 0.0));
+        mon.advance_to(SimTime::from_millis(15));
+        assert_eq!(mon.drain_errors().len(), 1);
+        mon.reset_comparator();
+        mon.advance_to(SimTime::from_millis(20));
+        assert!(mon.errors().is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! The Input and Output Observers of Fig. 2.
+//!
+//! Observers sit on the SUO side of the process boundary. The SUO is
+//! "adapted slightly, to send messages with relevant input and output
+//! events" (paper Sect. 4.3): these adapters take [`observe::Observation`]s
+//! from the instrumented SUO, convert the relevant ones to protocol
+//! [`Message`]s and push them into a [`DelayChannel`].
+
+use crate::channel::DelayChannel;
+use crate::message::Message;
+use observe::{Observation, ObservationKind};
+use simkit::SimTime;
+
+/// Forwards SUO *input* events (key presses) to the monitor
+/// (`IInputEvent` → `IEventInfo`).
+#[derive(Debug)]
+pub struct InputObserver {
+    channel: DelayChannel<Message>,
+    forwarded: u64,
+}
+
+impl InputObserver {
+    /// Creates an input observer sending through `channel`.
+    pub fn new(channel: DelayChannel<Message>) -> Self {
+        InputObserver {
+            channel,
+            forwarded: 0,
+        }
+    }
+
+    /// Offers an observation; key presses are forwarded as input events
+    /// (key codes become the model event's payload).
+    ///
+    /// Returns true if the observation was forwarded.
+    pub fn offer(&mut self, observation: &Observation) -> bool {
+        match &observation.kind {
+            ObservationKind::KeyPress { key, code } => {
+                self.forwarded += 1;
+                let message = match code {
+                    Some(c) => Message::input_with(key.clone(), *c),
+                    None => Message::input(key.clone()),
+                };
+                self.channel.send(observation.time, message);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Sends an explicit input event (for SUOs that call the observer
+    /// directly rather than through an observation stream).
+    pub fn send_input(&mut self, now: SimTime, event: impl Into<String>) {
+        self.forwarded += 1;
+        self.channel.send(now, Message::input(event));
+    }
+
+    /// Messages forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Access to the underlying channel (the monitor drains it).
+    pub fn channel_mut(&mut self) -> &mut DelayChannel<Message> {
+        &mut self.channel
+    }
+}
+
+/// Forwards SUO *output* events to the comparator (`IOutputEvent`).
+#[derive(Debug)]
+pub struct OutputObserver {
+    channel: DelayChannel<Message>,
+    forwarded: u64,
+}
+
+impl OutputObserver {
+    /// Creates an output observer sending through `channel`.
+    pub fn new(channel: DelayChannel<Message>) -> Self {
+        OutputObserver {
+            channel,
+            forwarded: 0,
+        }
+    }
+
+    /// Offers an observation; outputs are forwarded.
+    ///
+    /// Returns true if the observation was forwarded.
+    pub fn offer(&mut self, observation: &Observation) -> bool {
+        match &observation.kind {
+            ObservationKind::Output { name, value } => {
+                self.forwarded += 1;
+                self.channel.send(
+                    observation.time,
+                    Message::Output {
+                        name: name.clone(),
+                        value: value.clone(),
+                    },
+                );
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Messages forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Access to the underlying channel (the monitor drains it).
+    pub fn channel_mut(&mut self) -> &mut DelayChannel<Message> {
+        &mut self.channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observe::ObsValue;
+    use simkit::SimDuration;
+
+    #[test]
+    fn input_observer_forwards_keys_only() {
+        let mut obs = InputObserver::new(DelayChannel::new(SimDuration::ZERO));
+        let key = Observation::key_press(SimTime::ZERO, "rc", "vol_up", None);
+        let load = Observation::new(
+            SimTime::ZERO,
+            "cpu",
+            ObservationKind::Load {
+                resource: "cpu0".into(),
+                fraction: 0.5,
+            },
+        );
+        assert!(obs.offer(&key));
+        assert!(!obs.offer(&load));
+        assert_eq!(obs.forwarded(), 1);
+        let due = obs.channel_mut().deliver_due(SimTime::ZERO);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].1, Message::input("vol_up"));
+    }
+
+    #[test]
+    fn output_observer_forwards_outputs_only() {
+        let mut obs = OutputObserver::new(DelayChannel::new(SimDuration::ZERO));
+        let out = Observation::new(
+            SimTime::ZERO,
+            "tv",
+            ObservationKind::Output {
+                name: "volume".into(),
+                value: ObsValue::Num(3.0),
+            },
+        );
+        let key = Observation::key_press(SimTime::ZERO, "rc", "ok", None);
+        assert!(obs.offer(&out));
+        assert!(!obs.offer(&key));
+        let due = obs.channel_mut().deliver_due(SimTime::ZERO);
+        assert_eq!(due[0].1, Message::output("volume", 3.0));
+    }
+
+    #[test]
+    fn explicit_send_input() {
+        let mut obs = InputObserver::new(DelayChannel::new(SimDuration::from_millis(1)));
+        obs.send_input(SimTime::ZERO, "menu");
+        assert_eq!(obs.forwarded(), 1);
+        assert_eq!(
+            obs.channel_mut().deliver_due(SimTime::from_millis(1)).len(),
+            1
+        );
+    }
+}

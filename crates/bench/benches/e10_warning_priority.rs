@@ -1,0 +1,19 @@
+//! E10 (paper Sect. 4.7): execution-likelihood warning prioritization.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e10_warning_priority;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e10_warning_priority::run(11));
+    let mut group = c.benchmark_group("e10_warning_priority");
+    group.bench_function("likelihood_vs_textual", |b| b.iter(|| black_box(e10_warning_priority::run(11))));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,19 @@
+//! E11 (paper Sect. 4.5): adaptive memory arbitration.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e11_memory_arbiter;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e11_memory_arbiter::run());
+    let mut group = c.benchmark_group("e11_memory_arbiter");
+    group.bench_function("adaptive_vs_static_table", |b| b.iter(|| black_box(e11_memory_arbiter::run())));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

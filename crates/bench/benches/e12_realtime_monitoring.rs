@@ -1,0 +1,19 @@
+//! E12 (paper Sect. 4.3): timed-state-machine deadline monitoring.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e12_realtime_monitoring;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e12_realtime_monitoring::run());
+    let mut group = c.benchmark_group("e12_realtime_monitoring");
+    group.bench_function("deadline_sweep", |b| b.iter(|| black_box(e12_realtime_monitoring::run())));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,19 @@
+//! E1 (paper Sect. 4.4): spectrum-based teletext diagnosis at paper scale.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e1_spectra;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e1_spectra::run(27));
+    let mut group = c.benchmark_group("e1_spectra_teletext");
+    group.bench_function("diagnose_60k_blocks_27_presses", |b| b.iter(|| black_box(e1_spectra::run(27))));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

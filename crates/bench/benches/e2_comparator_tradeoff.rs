@@ -1,0 +1,19 @@
+//! E2 (paper Sect. 4.3): comparator threshold / consecutive-deviation sweep.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e2_comparator;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e2_comparator::run(7));
+    let mut group = c.benchmark_group("e2_comparator_tradeoff");
+    group.bench_function("threshold_consecutive_sweep", |b| b.iter(|| black_box(e2_comparator::run(7))));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,19 @@
+//! E3 (paper Sect. 4.3): mode-consistency detection of teletext sync loss.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e3_mode_consistency;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e3_mode_consistency::run());
+    let mut group = c.benchmark_group("e3_mode_consistency");
+    group.bench_function("teletext_sync_loss_detection", |b| b.iter(|| black_box(e3_mode_consistency::run())));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

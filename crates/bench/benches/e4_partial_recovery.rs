@@ -1,0 +1,19 @@
+//! E4 (paper Sect. 4.5): partial recovery vs whole-system restart.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e4_partial_recovery;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e4_partial_recovery::run());
+    let mut group = c.benchmark_group("e4_partial_recovery");
+    group.bench_function("partial_vs_full_restart", |b| b.iter(|| black_box(e4_partial_recovery::run())));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,19 @@
+//! E5 (paper Sect. 4.5): task-migration load balancing under overload.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e5_load_balancing;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e5_load_balancing::run());
+    let mut group = c.benchmark_group("e5_load_balancing");
+    group.bench_function("migration_under_bad_signal", |b| b.iter(|| black_box(e5_load_balancing::run())));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

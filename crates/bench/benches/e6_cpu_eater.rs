@@ -1,0 +1,19 @@
+//! E6 (paper Sect. 4.7): CPU-eater stress-response curve.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e6_cpu_eater;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e6_cpu_eater::run());
+    let mut group = c.benchmark_group("e6_cpu_eater");
+    group.bench_function("eater_fraction_sweep", |b| b.iter(|| black_box(e6_cpu_eater::run())));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,19 @@
+//! E7 (paper Sect. 4.6): user-perception panel and factorial design.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e7_perception;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e7_perception::run(42));
+    let mut group = c.benchmark_group("e7_perception");
+    group.bench_function("panel_200_factorial", |b| b.iter(|| black_box(e7_perception::run(42))));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,19 @@
+//! E8 (paper Sect. 5): model-to-model + media-player awareness.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e8_model_to_model;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e8_model_to_model::run(7));
+    let mut group = c.benchmark_group("e8_model_to_model");
+    group.bench_function("media_player_awareness", |b| b.iter(|| black_box(e8_model_to_model::run(7))));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

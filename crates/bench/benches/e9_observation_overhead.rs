@@ -1,0 +1,19 @@
+//! E9 (paper Sect. 4.1): observation overhead per instrumentation level.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::e9_observation_overhead;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", e9_observation_overhead::run());
+    let mut group = c.benchmark_group("e9_observation_overhead");
+    group.bench_function("instrumentation_levels", |b| b.iter(|| black_box(e9_observation_overhead::run())));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,21 @@
+//! F1 (paper Fig. 1): open vs closed dependability loop.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::f1_closed_loop;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", f1_closed_loop::run(40, 3));
+    let mut group = c.benchmark_group("f1_closed_loop");
+    group.bench_function("open_vs_closed_40_presses", |b| {
+        b.iter(|| black_box(f1_closed_loop::run(black_box(40), 3)))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,19 @@
+//! F2 (paper Fig. 2): framework model-to-model validation.
+
+use bench::quick_criterion;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::experiments::f2_framework;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", f2_framework::run(9));
+    let mut group = c.benchmark_group("f2_framework");
+    group.bench_function("model_to_model_40_presses", |b| b.iter(|| black_box(f2_framework::run(9))));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,346 @@
+//! The closed dependability loop over the television SUO (paper Fig. 1).
+//!
+//! *Open loop* is how the paper characterizes traditional products: "for
+//! a certain input, the required actions are executed, but it is never
+//! checked whether these actions have the desired effect". The *closed
+//! loop* adds the awareness monitor, complementary detectors, and a
+//! correction strategy.
+
+use awareness::{CompareSpec, Configuration, MonitorBuilder};
+use detect::{ConsistencyRule, Detector, ErrorEvent, ModeConsistencyDetector};
+use faults::injector::Transition;
+use faults::{Injector, Schedule};
+use observe::{ObsValue, Observation};
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimTime};
+use statemachine::{Event, Executor, Machine, Value};
+use std::collections::BTreeMap;
+use tvsim::{tv_spec_machine, TvFault, TvSystem};
+
+use crate::scenario::TimedScenario;
+
+/// The outcome of running a scenario through the loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopOutcome {
+    /// Presses processed.
+    pub steps: usize,
+    /// Presses after which a user-visible output deviated from the
+    /// desired behaviour.
+    pub failure_steps: usize,
+    /// Errors detected (comparator + detectors). Zero in open loop.
+    pub detected_errors: usize,
+    /// Corrective actions applied. Zero in open loop.
+    pub recoveries: usize,
+    /// Delay from the first fault activation to the first detection.
+    pub detection_latency: Option<SimDuration>,
+    /// Fault activation edges seen.
+    pub fault_activations: usize,
+}
+
+impl LoopOutcome {
+    /// Fraction of presses with user-visible failures.
+    pub fn failure_ratio(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.failure_steps as f64 / self.steps as f64
+        }
+    }
+}
+
+/// Runs a [`TvSystem`] open- or closed-loop against a scenario.
+#[derive(Debug)]
+pub struct TvDependabilityLoop {
+    closed: bool,
+    seed: u64,
+    machine: Machine,
+    injector: Injector<TvFault>,
+    output_delay: SimDuration,
+}
+
+impl TvDependabilityLoop {
+    /// An open-loop run: no monitoring, no correction.
+    pub fn open(seed: u64) -> Self {
+        Self::build(false, seed)
+    }
+
+    /// A closed-loop run: awareness monitor + detectors + correction.
+    pub fn closed(seed: u64) -> Self {
+        Self::build(true, seed)
+    }
+
+    fn build(closed: bool, seed: u64) -> Self {
+        TvDependabilityLoop {
+            closed,
+            seed,
+            machine: tv_spec_machine(),
+            injector: Injector::new(),
+            output_delay: SimDuration::from_micros(500),
+        }
+    }
+
+    /// Schedules a fault.
+    pub fn schedule_fault(&mut self, schedule: Schedule, fault: TvFault) {
+        self.injector.add(schedule, fault);
+    }
+
+    /// Overrides the SUO→monitor output channel delay.
+    pub fn set_output_delay(&mut self, delay: SimDuration) {
+        self.output_delay = delay;
+    }
+
+    /// Runs the scenario to completion.
+    pub fn run(&mut self, scenario: &TimedScenario) -> LoopOutcome {
+        let machine = self.machine.clone();
+        let mut tv = TvSystem::new();
+
+        // Ground-truth oracle: the desired behaviour, evaluated with
+        // zero delay and full observability (only the harness has this).
+        let mut oracle = Executor::new(&machine);
+        oracle.start();
+        let mut ref_state: BTreeMap<String, Value> = BTreeMap::new();
+        let mut sys_state: BTreeMap<String, ObsValue> = BTreeMap::new();
+
+        // The run-time awareness monitor (closed loop only).
+        let cfg = Configuration::new()
+            .with_default_spec(CompareSpec::exact().with_max_consecutive(0));
+        let mut monitor = self.closed.then(|| {
+            MonitorBuilder::new(&machine)
+                .configuration(cfg)
+                .output_delay(self.output_delay)
+                .seed(self.seed)
+                .build()
+        });
+        let mut mode_detector = self.closed.then(|| {
+            let mut d = ModeConsistencyDetector::new();
+            d.add_rule(ConsistencyRule::new(
+                "txt-sync",
+                "ui",
+                "teletext",
+                "decoder",
+                ["teletext"],
+            ));
+            d
+        });
+
+        let mut outcome = LoopOutcome {
+            steps: 0,
+            failure_steps: 0,
+            detected_errors: 0,
+            recoveries: 0,
+            detection_latency: None,
+            fault_activations: 0,
+        };
+        let mut first_fault_at: Option<SimTime> = None;
+        let mut first_detect_at: Option<SimTime> = None;
+
+        for (i, (at, key)) in scenario.presses().iter().enumerate() {
+            // Fault schedule edges.
+            for edge in self.injector.poll(*at, i as u64) {
+                match edge {
+                    Transition::Activated(f) => {
+                        tv.inject_fault(f);
+                        outcome.fault_activations += 1;
+                        first_fault_at.get_or_insert(*at);
+                    }
+                    Transition::Deactivated(f) => tv.clear_fault(f),
+                }
+            }
+
+            // Drive the SUO.
+            let observations = tv.press(*at, *key);
+            for obs in &observations {
+                if let Some((name, value)) = obs.as_output() {
+                    sys_state.insert(name.to_owned(), value.clone());
+                }
+            }
+
+            // Drive the oracle.
+            let event = match key.payload() {
+                Some(p) => Event::with_payload(key.event_name(), p),
+                None => Event::plain(key.event_name()),
+            };
+            oracle.step_at(*at, &event);
+            for rec in oracle.drain_outputs() {
+                ref_state.insert(rec.name, rec.value);
+            }
+
+            // Closed loop: observation, detection, correction.
+            if let (Some(monitor), Some(mode_detector)) =
+                (monitor.as_mut(), mode_detector.as_mut())
+            {
+                let mut detector_errors: Vec<ErrorEvent> = Vec::new();
+                for obs in &observations {
+                    monitor.offer(obs);
+                    detector_errors.extend(mode_detector.observe(obs));
+                }
+                // Let channel deliveries and comparisons happen before the
+                // next press.
+                let settle = *at + SimDuration::from_millis(20);
+                monitor.advance_to(settle);
+                let comparator_errors = monitor.drain_errors();
+                let n_errors = comparator_errors.len() + detector_errors.len();
+                if n_errors > 0 {
+                    outcome.detected_errors += n_errors;
+                    first_detect_at.get_or_insert(settle);
+                }
+                // Correction strategy: map errors to SUO repair actions.
+                let mut repair_obs: Vec<Observation> = Vec::new();
+                let mut resynced = false;
+                for err in &detector_errors {
+                    if err.detector.starts_with("mode-consistency") && !resynced {
+                        repair_obs.extend(tv.resync_teletext(settle));
+                        resynced = true;
+                        outcome.recoveries += 1;
+                    }
+                }
+                for err in &comparator_errors {
+                    match err.observable.as_str() {
+                        "audio.muted" | "volume" => {
+                            let want_muted = ref_state
+                                .get("audio.muted")
+                                .and_then(Value::as_bool)
+                                .unwrap_or(false);
+                            repair_obs.extend(tv.force_audio(settle, want_muted));
+                            outcome.recoveries += 1;
+                        }
+                        "teletext.page" | "screen.mode"
+                            if !resynced => {
+                                repair_obs.extend(tv.resync_teletext(settle));
+                                resynced = true;
+                                outcome.recoveries += 1;
+                            }
+                        _ => {}
+                    }
+                }
+                for obs in &repair_obs {
+                    if let Some((name, value)) = obs.as_output() {
+                        sys_state.insert(name.to_owned(), value.clone());
+                    }
+                    monitor.offer(obs);
+                    let _ = mode_detector.observe(obs);
+                }
+                if !repair_obs.is_empty() {
+                    monitor.advance_to(settle + SimDuration::from_millis(5));
+                    // Post-repair comparisons should now match; drop any
+                    // residual transient error raised by the repair burst.
+                    let _ = monitor.drain_errors();
+                }
+            }
+
+            // User-visible failure check against the oracle.
+            outcome.steps += 1;
+            let deviates = ref_state.iter().any(|(name, expected)| {
+                sys_state.get(name).is_some_and(|actual| {
+                    let expected_obs = match expected {
+                        Value::Str(s) => ObsValue::Text(s.clone()),
+                        other => ObsValue::Num(other.as_f64().unwrap_or(f64::NAN)),
+                    };
+                    expected_obs.distance(actual) > 1e-9
+                })
+            });
+            if deviates {
+                outcome.failure_steps += 1;
+            }
+        }
+
+        outcome.detection_latency = match (first_fault_at, first_detect_at) {
+            (Some(f), Some(d)) if d >= f => Some(d.since(f)),
+            _ => None,
+        };
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn teletext_scenario() -> TimedScenario {
+        TimedScenario::teletext_session(30)
+    }
+
+    #[test]
+    fn healthy_run_has_no_failures_or_errors() {
+        let mut looped = TvDependabilityLoop::closed(1);
+        let outcome = looped.run(&teletext_scenario());
+        assert_eq!(outcome.failure_steps, 0, "{outcome:?}");
+        assert_eq!(outcome.detected_errors, 0, "{outcome:?}");
+        assert_eq!(outcome.recoveries, 0);
+        assert_eq!(outcome.steps, 30);
+    }
+
+    #[test]
+    fn open_loop_failures_persist() {
+        let mut looped = TvDependabilityLoop::open(1);
+        // Transient sync-loss fault active during the first teletext
+        // toggle; the missed notification leaves a persistent error.
+        looped.schedule_fault(
+            Schedule::Between {
+                from: SimTime::from_millis(250),
+                to: SimTime::from_millis(350),
+            },
+            TvFault::TeletextSyncLoss,
+        );
+        let outcome = looped.run(&teletext_scenario());
+        // Open loop: nothing detected, nothing repaired.
+        assert_eq!(outcome.detected_errors, 0);
+        assert_eq!(outcome.recoveries, 0);
+        assert!(outcome.fault_activations >= 1);
+    }
+
+    #[test]
+    fn closed_loop_detects_and_repairs_sync_loss() {
+        let mut looped = TvDependabilityLoop::closed(1);
+        looped.schedule_fault(
+            Schedule::Between {
+                from: SimTime::from_millis(250),
+                to: SimTime::from_millis(350),
+            },
+            TvFault::TeletextSyncLoss,
+        );
+        let outcome = looped.run(&teletext_scenario());
+        assert!(outcome.detected_errors > 0, "{outcome:?}");
+        assert!(outcome.recoveries > 0, "{outcome:?}");
+        assert!(outcome.detection_latency.is_some());
+    }
+
+    #[test]
+    fn closed_loop_beats_open_loop_on_mute_inversion() {
+        let schedule = || Schedule::Between {
+            from: SimTime::from_millis(1650),
+            to: SimTime::from_millis(1750),
+        };
+        // The scenario mutes at 1600 ms and unmutes at 1700 ms (teletext
+        // session pattern): the unmute is lost.
+        let mut open = TvDependabilityLoop::open(5);
+        open.schedule_fault(schedule(), TvFault::MuteInversion);
+        let open_out = open.run(&teletext_scenario());
+
+        let mut closed = TvDependabilityLoop::closed(5);
+        closed.schedule_fault(schedule(), TvFault::MuteInversion);
+        let closed_out = closed.run(&teletext_scenario());
+
+        assert!(
+            closed_out.failure_steps <= open_out.failure_steps,
+            "closed {closed_out:?} vs open {open_out:?}"
+        );
+        if open_out.failure_steps > 0 {
+            assert!(closed_out.failure_steps < open_out.failure_steps);
+            assert!(closed_out.recoveries > 0);
+        }
+    }
+
+    #[test]
+    fn failure_ratio_math() {
+        let o = LoopOutcome {
+            steps: 10,
+            failure_steps: 3,
+            detected_errors: 0,
+            recoveries: 0,
+            detection_latency: None,
+            fault_activations: 0,
+        };
+        assert!((o.failure_ratio() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # detect — run-time error detectors
+//!
+//! Error-detection mechanisms of the Trader project beyond model
+//! comparison (paper Sect. 4.3):
+//!
+//! * [`RangeCheckDetector`] — hardware-style range checking of monitored
+//!   values;
+//! * [`WatchdogDetector`] — timeliness: a heartbeat must arrive within its
+//!   deadline (the real-time monitoring the paper contrasts with MaC-RT);
+//! * [`DeadlockDetector`] — hardware-based deadlock detection via wait-for
+//!   graph cycle search;
+//! * [`ModeConsistencyDetector`] — the mode-consistency checking of Sözer
+//!   et al. that "turned out to be successful to detect teletext problems
+//!   due to a loss of synchronization between components".
+//!
+//! All detectors implement [`Detector`] and can be grouped in a
+//! [`DetectorBank`] that fans observations out and collects
+//! [`ErrorEvent`]s — the paper's point that a complex system hosts
+//! *several* awareness monitors for different aspects and fault classes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadlock;
+pub mod detector;
+pub mod mode_consistency;
+pub mod range_check;
+pub mod watchdog;
+
+pub use deadlock::{DeadlockDetector, WaitForGraph};
+pub use detector::{Detector, DetectorBank, ErrorEvent, ErrorSeverity};
+pub use mode_consistency::{ConsistencyRule, ModeConsistencyDetector};
+pub use range_check::RangeCheckDetector;
+pub use watchdog::WatchdogDetector;

@@ -1,0 +1,119 @@
+//! Range-check detector over named values.
+
+use crate::detector::{Detector, ErrorEvent, ErrorSeverity};
+use observe::{ObsValue, Observation, ObservationKind, RangeProbe};
+
+/// Flags a named value (or numeric output) leaving its legal interval.
+#[derive(Debug, Clone)]
+pub struct RangeCheckDetector {
+    probe: RangeProbe,
+    severity: ErrorSeverity,
+}
+
+impl RangeCheckDetector {
+    /// Creates a detector for values named `name` with inclusive bounds.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
+        RangeCheckDetector {
+            probe: RangeProbe::new(name, min, max),
+            severity: ErrorSeverity::Major,
+        }
+    }
+
+    /// Overrides the reported severity.
+    pub fn with_severity(mut self, severity: ErrorSeverity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Violations seen so far.
+    pub fn violations(&self) -> u64 {
+        self.probe.violations()
+    }
+
+    fn relevant_value(&self, observation: &Observation) -> Option<f64> {
+        match &observation.kind {
+            ObservationKind::Value { name, value } if name == self.probe.name() => Some(*value),
+            ObservationKind::Output {
+                name,
+                value: ObsValue::Num(x),
+            } if name == self.probe.name() => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+impl Detector for RangeCheckDetector {
+    fn name(&self) -> &str {
+        self.probe.name()
+    }
+
+    fn observe(&mut self, observation: &Observation) -> Vec<ErrorEvent> {
+        let Some(value) = self.relevant_value(observation) else {
+            return Vec::new();
+        };
+        match self.probe.check(observation.time, value) {
+            None => Vec::new(),
+            Some(v) => vec![ErrorEvent {
+                time: observation.time,
+                detector: format!("range:{}", self.probe.name()),
+                description: v.to_string(),
+                severity: self.severity,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    fn value_obs(name: &str, v: f64) -> Observation {
+        Observation::new(
+            SimTime::ZERO,
+            "sys",
+            ObservationKind::Value {
+                name: name.into(),
+                value: v,
+            },
+        )
+    }
+
+    #[test]
+    fn flags_out_of_range_values() {
+        let mut d = RangeCheckDetector::new("volume", 0.0, 100.0);
+        assert!(d.observe(&value_obs("volume", 50.0)).is_empty());
+        let errs = d.observe(&value_obs("volume", -3.0));
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].description.contains("outside"));
+        assert_eq!(d.violations(), 1);
+    }
+
+    #[test]
+    fn ignores_other_names() {
+        let mut d = RangeCheckDetector::new("volume", 0.0, 100.0);
+        assert!(d.observe(&value_obs("brightness", 900.0)).is_empty());
+    }
+
+    #[test]
+    fn checks_numeric_outputs_too() {
+        let mut d = RangeCheckDetector::new("volume", 0.0, 100.0);
+        let obs = Observation::new(
+            SimTime::ZERO,
+            "tv",
+            ObservationKind::Output {
+                name: "volume".into(),
+                value: ObsValue::Num(120.0),
+            },
+        );
+        assert_eq!(d.observe(&obs).len(), 1);
+    }
+
+    #[test]
+    fn severity_override() {
+        let mut d =
+            RangeCheckDetector::new("x", 0.0, 1.0).with_severity(ErrorSeverity::Critical);
+        let errs = d.observe(&value_obs("x", 5.0));
+        assert_eq!(errs[0].severity, ErrorSeverity::Critical);
+    }
+}

@@ -1,0 +1,192 @@
+//! Architecture-level software FMEA.
+//!
+//! Sözer, Tekinerdoğan & Akşit extend failure-modes-and-effects analysis
+//! to the software architecture design level (paper Sect. 4.7). Given a
+//! Koala [`Assembly`], each component is analyzed per failure mode; the
+//! *effect* term is derived from how much of the architecture transitively
+//! depends on the component, so the ranking points at the
+//! architecturally critical spots.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use tvsim::Assembly;
+
+/// Classic software failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// No output produced (omission).
+    Omission,
+    /// Component crashes / stops.
+    Crash,
+    /// Output too late.
+    Timing,
+    /// Wrong value produced.
+    Value,
+}
+
+impl FailureMode {
+    /// All analyzed modes.
+    pub const ALL: [FailureMode; 4] = [
+        FailureMode::Omission,
+        FailureMode::Crash,
+        FailureMode::Timing,
+        FailureMode::Value,
+    ];
+
+    /// Base severity of the mode (1–10): crashes are worst, timing often
+    /// masked by buffering, wrong values insidious.
+    fn base_severity(self) -> f64 {
+        match self {
+            FailureMode::Crash => 9.0,
+            FailureMode::Value => 7.0,
+            FailureMode::Omission => 6.0,
+            FailureMode::Timing => 4.0,
+        }
+    }
+
+    /// Default detectability (1 = certain detection, 10 = undetectable):
+    /// crashes are obvious; wrong values are hard to notice.
+    fn detectability(self) -> f64 {
+        match self {
+            FailureMode::Crash => 2.0,
+            FailureMode::Omission => 4.0,
+            FailureMode::Timing => 5.0,
+            FailureMode::Value => 8.0,
+        }
+    }
+}
+
+impl fmt::Display for FailureMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureMode::Omission => "omission",
+            FailureMode::Crash => "crash",
+            FailureMode::Timing => "timing",
+            FailureMode::Value => "value",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the FMEA table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FmeaEntry {
+    /// Component under analysis.
+    pub component: String,
+    /// Failure mode.
+    pub mode: FailureMode,
+    /// Severity 1–10 (base severity scaled by architectural impact).
+    pub severity: f64,
+    /// Occurrence 1–10 (driven by the component's dependency count —
+    /// more required interfaces, more ways to fail).
+    pub occurrence: f64,
+    /// Detectability 1–10 (10 = undetectable).
+    pub detectability: f64,
+    /// Components transitively affected.
+    pub affected: usize,
+}
+
+impl FmeaEntry {
+    /// Risk priority number: severity × occurrence × detectability.
+    pub fn rpn(&self) -> f64 {
+        self.severity * self.occurrence * self.detectability
+    }
+}
+
+/// Transitive dependents of `component` in `assembly`.
+fn transitive_dependents(assembly: &Assembly, component: &str) -> BTreeSet<String> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut stack = vec![component.to_owned()];
+    while let Some(c) = stack.pop() {
+        for d in assembly.dependents_of(&c) {
+            if seen.insert(d.to_owned()) {
+                stack.push(d.to_owned());
+            }
+        }
+    }
+    seen
+}
+
+/// Runs the FMEA over every component × failure mode, returning rows
+/// sorted by descending RPN.
+pub fn run_fmea(assembly: &Assembly) -> Vec<FmeaEntry> {
+    let n = assembly.components().len().max(1) as f64;
+    let mut rows = Vec::new();
+    for comp in assembly.components() {
+        let affected = transitive_dependents(assembly, &comp.name);
+        // Impact scale: fraction of the architecture affected.
+        let impact = 1.0 + 9.0 * (affected.len() as f64 / n);
+        let occurrence = 1.0 + comp.requires.len() as f64;
+        for mode in FailureMode::ALL {
+            rows.push(FmeaEntry {
+                component: comp.name.clone(),
+                mode,
+                severity: (mode.base_severity() * impact / 10.0).min(10.0),
+                occurrence: occurrence.min(10.0),
+                detectability: mode.detectability(),
+                affected: affected.len(),
+            });
+        }
+    }
+    rows.sort_by(|a, b| {
+        b.rpn()
+            .partial_cmp(&a.rpn())
+            .expect("rpn finite")
+            .then(a.component.cmp(&b.component))
+            .then(a.mode.cmp(&b.mode))
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvsim::tv_assembly;
+
+    #[test]
+    fn produces_rows_for_every_component_and_mode() {
+        let a = tv_assembly();
+        let rows = run_fmea(&a);
+        assert_eq!(rows.len(), a.components().len() * FailureMode::ALL.len());
+    }
+
+    #[test]
+    fn platform_and_tuner_rank_critically() {
+        // `platform` (memory) and `tuner` feed nearly everything: their
+        // failures must rank above leaf components like `audio`.
+        let a = tv_assembly();
+        let rows = run_fmea(&a);
+        let first_idx = |name: &str| rows.iter().position(|r| r.component == name).unwrap();
+        assert!(first_idx("platform") < first_idx("audio"));
+        assert!(first_idx("tuner") < first_idx("audio"));
+    }
+
+    #[test]
+    fn rpn_descending() {
+        let rows = run_fmea(&tv_assembly());
+        for pair in rows.windows(2) {
+            assert!(pair[0].rpn() >= pair[1].rpn());
+        }
+    }
+
+    #[test]
+    fn affected_counts_are_transitive() {
+        let a = tv_assembly();
+        let rows = run_fmea(&a);
+        let platform = rows.iter().find(|r| r.component == "platform").unwrap();
+        // Everything that touches memory is affected transitively.
+        assert!(platform.affected >= 5, "affected={}", platform.affected);
+        let audio = rows.iter().find(|r| r.component == "audio").unwrap();
+        assert_eq!(audio.affected, 0);
+    }
+
+    #[test]
+    fn ratings_bounded() {
+        for r in run_fmea(&tv_assembly()) {
+            assert!((0.0..=10.0).contains(&r.severity));
+            assert!((1.0..=10.0).contains(&r.occurrence));
+            assert!((1.0..=10.0).contains(&r.detectability));
+        }
+    }
+}

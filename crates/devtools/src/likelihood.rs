@@ -1,0 +1,106 @@
+//! Static execution-likelihood profiling.
+//!
+//! The core of the Boogerd–Moonen prioritization: estimate, without
+//! running the program, how likely each function is to execute. Entry
+//! points execute with probability 1; a call edge transmits its caller's
+//! likelihood damped by a branch probability; a function's likelihood is
+//! the probability that at least one of its call sites executes.
+
+use crate::warning::FunctionDecl;
+
+/// Per-call-site branch probability (the static profiler's heuristic
+/// constant for a conditional call).
+const BRANCH_PROBABILITY: f64 = 0.6;
+
+/// Computes each function's execution likelihood in `[0, 1]`.
+///
+/// Iterates to a fixed point (bounded), so cyclic call graphs are safe.
+pub fn execution_likelihood(functions: &[FunctionDecl]) -> Vec<f64> {
+    let n = functions.len();
+    let mut likelihood = vec![0.0f64; n];
+    for (i, f) in functions.iter().enumerate() {
+        if f.entry {
+            likelihood[i] = 1.0;
+        }
+    }
+    // Fixed-point iteration: P(callee) = 1 - Π over call sites of
+    // (1 - P(caller) * branch_prob), combined with entry status.
+    for _ in 0..64 {
+        let mut next = vec![0.0f64; n];
+        for (i, f) in functions.iter().enumerate() {
+            if f.entry {
+                next[i] = 1.0;
+            }
+        }
+        for (caller, f) in functions.iter().enumerate() {
+            for &callee in &f.calls {
+                let p_site = likelihood[caller] * BRANCH_PROBABILITY;
+                // Combine: callee misses only if all sites miss.
+                next[callee] = 1.0 - (1.0 - next[callee]) * (1.0 - p_site);
+            }
+        }
+        let delta: f64 = next
+            .iter()
+            .zip(&likelihood)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        likelihood = next;
+        if delta < 1e-12 {
+            break;
+        }
+    }
+    likelihood
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(entry: bool, calls: &[usize]) -> FunctionDecl {
+        FunctionDecl {
+            name: "f".into(),
+            file: 0,
+            calls: calls.to_vec(),
+            entry,
+        }
+    }
+
+    #[test]
+    fn entry_is_certain() {
+        let fns = vec![f(true, &[1]), f(false, &[])];
+        let l = execution_likelihood(&fns);
+        assert_eq!(l[0], 1.0);
+        assert!((l[1] - BRANCH_PROBABILITY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_decays_likelihood() {
+        let fns = vec![f(true, &[1]), f(false, &[2]), f(false, &[3]), f(false, &[])];
+        let l = execution_likelihood(&fns);
+        assert!(l[1] > l[2] && l[2] > l[3]);
+        assert!((l[3] - BRANCH_PROBABILITY.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_callers_raise_likelihood() {
+        // Both entries call 2: P = 1 - (1-0.6)^2 = 0.84.
+        let fns = vec![f(true, &[2]), f(true, &[2]), f(false, &[])];
+        let l = execution_likelihood(&fns);
+        assert!((l[2] - 0.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_function_is_zero() {
+        let fns = vec![f(true, &[]), f(false, &[])];
+        let l = execution_likelihood(&fns);
+        assert_eq!(l[1], 0.0);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let fns = vec![f(true, &[1]), f(false, &[2]), f(false, &[1])];
+        let l = execution_likelihood(&fns);
+        assert!(l.iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(l[1] >= 0.6);
+    }
+}

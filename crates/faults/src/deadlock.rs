@@ -1,0 +1,54 @@
+//! Circular-wait injection.
+
+/// Builds the wait edges of a circular wait among `tasks` (each waits on
+/// the next, the last on the first) — feed these into a wait-for graph to
+/// create a detectable deadlock.
+///
+/// Returns an empty list for fewer than one task.
+///
+/// ```
+/// use faults::deadlock::cycle_edges;
+/// let edges = cycle_edges(&["decoder", "scaler", "mixer"]);
+/// assert_eq!(edges.len(), 3);
+/// assert_eq!(edges[2], ("mixer".to_owned(), "decoder".to_owned()));
+/// ```
+pub fn cycle_edges(tasks: &[&str]) -> Vec<(String, String)> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    (0..tasks.len())
+        .map(|i| {
+            (
+                tasks[i].to_owned(),
+                tasks[(i + 1) % tasks.len()].to_owned(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(cycle_edges(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_task_self_wait() {
+        assert_eq!(cycle_edges(&["a"]), vec![("a".to_owned(), "a".to_owned())]);
+    }
+
+    #[test]
+    fn pair_cycle() {
+        let e = cycle_edges(&["a", "b"]);
+        assert_eq!(
+            e,
+            vec![
+                ("a".to_owned(), "b".to_owned()),
+                ("b".to_owned(), "a".to_owned())
+            ]
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Input faults: bad signals and coding-standard deviations.
+
+use serde::{Deserialize, Serialize};
+use simkit::{SimRng, SimTime};
+use std::collections::BTreeSet;
+
+/// Independent per-item bit-error model (coding-standard deviations,
+/// transmission errors).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BitErrorModel {
+    p: f64,
+    seed: u64,
+}
+
+impl BitErrorModel {
+    /// Creates a model corrupting each item with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        BitErrorModel { p, seed }
+    }
+
+    /// The corruption probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// The deterministically corrupted indices among `0..n`.
+    pub fn corrupt_indices(&self, n: u64) -> BTreeSet<u64> {
+        let mut rng = SimRng::seed(self.seed);
+        (0..n).filter(|_| rng.chance(self.p)).collect()
+    }
+}
+
+/// A piecewise-constant signal-quality profile over time.
+///
+/// Drives the pipeline's error-correction load in the overload
+/// experiments: "intensive error correction on a bad input signal"
+/// (paper Sect. 4.5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalProfile {
+    /// `(from, quality)` segments, sorted by `from`; quality holds until
+    /// the next segment.
+    segments: Vec<(SimTime, f64)>,
+}
+
+impl SignalProfile {
+    /// A constant-quality profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `[0, 1]`.
+    pub fn constant(quality: f64) -> Self {
+        assert!((0.0..=1.0).contains(&quality));
+        SignalProfile {
+            segments: vec![(SimTime::ZERO, quality)],
+        }
+    }
+
+    /// Appends a segment starting at `from` with the given quality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not after the previous segment's start or the
+    /// quality is out of range.
+    pub fn then(mut self, from: SimTime, quality: f64) -> Self {
+        assert!((0.0..=1.0).contains(&quality));
+        assert!(
+            self.segments.last().map(|(t, _)| *t < from).unwrap_or(true),
+            "segments must be strictly increasing"
+        );
+        self.segments.push((from, quality));
+        self
+    }
+
+    /// The signal quality at `now`.
+    pub fn quality_at(&self, now: SimTime) -> f64 {
+        self.segments
+            .iter()
+            .rev()
+            .find(|(from, _)| *from <= now)
+            .map(|(_, q)| *q)
+            .unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_errors_deterministic() {
+        let m = BitErrorModel::new(0.2, 9);
+        assert_eq!(m.corrupt_indices(500), m.corrupt_indices(500));
+        let count = m.corrupt_indices(1000).len();
+        assert!(count > 130 && count < 280, "count={count}");
+        assert_eq!(m.probability(), 0.2);
+    }
+
+    #[test]
+    fn zero_probability_corrupts_nothing() {
+        assert!(BitErrorModel::new(0.0, 1).corrupt_indices(100).is_empty());
+        assert_eq!(BitErrorModel::new(1.0, 1).corrupt_indices(100).len(), 100);
+    }
+
+    #[test]
+    fn profile_steps() {
+        let p = SignalProfile::constant(1.0)
+            .then(SimTime::from_secs(10), 0.3)
+            .then(SimTime::from_secs(20), 0.9);
+        assert_eq!(p.quality_at(SimTime::from_secs(5)), 1.0);
+        assert_eq!(p.quality_at(SimTime::from_secs(10)), 0.3);
+        assert_eq!(p.quality_at(SimTime::from_secs(19)), 0.3);
+        assert_eq!(p.quality_at(SimTime::from_secs(25)), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_segments_rejected() {
+        let _ = SignalProfile::constant(1.0)
+            .then(SimTime::from_secs(10), 0.5)
+            .then(SimTime::from_secs(5), 0.2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mediasim — a media-player system under observation
+//!
+//! The Trader awareness framework was validated "by means of
+//! model-to-model experiments" and then "used for awareness experiments
+//! with the open source media player MPlayer, investigating both
+//! correctness and performance issues" (paper Sect. 5). MPlayer itself is
+//! out of scope for a deterministic reproduction; this crate provides the
+//! equivalent SUO: a stage pipeline (demux → decode → postproc → render)
+//! over a simulated processor, driven by play/pause/stop/seek commands,
+//! with per-frame deadlines and corrupt-stream tolerance.
+//!
+//! * [`MediaStream`] — a synthetic stream with seeded corruption;
+//! * [`MediaPlayer`] — the player SUO emitting state and performance
+//!   observations;
+//! * [`player_spec_machine`] — the specification model of the player's
+//!   control behaviour (for the correctness half of E8);
+//! * performance issues surface as late frames, caught by the awareness
+//!   watchdog / timed comparisons (the performance half).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod player;
+pub mod stream;
+
+pub use model::player_spec_machine;
+pub use player::{MediaPlayer, PlayerConfig, PlayerState};
+pub use stream::MediaStream;

@@ -1,0 +1,86 @@
+//! The specification model of the player's control behaviour.
+
+use statemachine::{Machine, MachineBuilder};
+
+/// Builds the player specification machine: the desired-behaviour model
+/// the awareness framework runs next to the [`MediaPlayer`](crate::MediaPlayer).
+///
+/// States mirror [`PlayerState`](crate::PlayerState); the observable is
+/// `player.state`. The model is partial (paper Sect. 3): it covers the
+/// control behaviour; performance (frame deadlines) is monitored
+/// separately via watchdogs.
+///
+/// ```
+/// use mediasim::player_spec_machine;
+/// assert!(player_spec_machine().is_well_formed());
+/// ```
+pub fn player_spec_machine() -> Machine {
+    MachineBuilder::new("player-spec")
+        .state("stopped")
+        .state("playing")
+        .state("paused")
+        .initial("stopped")
+        .output("player.state")
+        .on("stopped", "play", "playing", |t| {
+            t.output_const("player.state", "playing")
+        })
+        .on("playing", "pause", "paused", |t| {
+            t.output_const("player.state", "paused")
+        })
+        .on("paused", "pause", "playing", |t| {
+            t.output_const("player.state", "playing")
+        })
+        .on("paused", "play", "playing", |t| {
+            t.output_const("player.state", "playing")
+        })
+        .on("playing", "stop", "stopped", |t| {
+            t.output_const("player.state", "stopped")
+        })
+        .on("paused", "stop", "stopped", |t| {
+            t.output_const("player.state", "stopped")
+        })
+        .on("stopped", "stop", "stopped", |t| {
+            t.output_const("player.state", "stopped")
+        })
+        .on("playing", "eos", "stopped", |t| {
+            t.output_const("player.state", "stopped")
+        })
+        .build()
+        .expect("player spec machine is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statemachine::{Event, Executor, Value};
+
+    #[test]
+    fn model_matches_player_semantics() {
+        let m = player_spec_machine();
+        assert!(m.is_well_formed(), "{:?}", m.validate());
+        let mut e = Executor::new(&m);
+        e.start();
+        e.step(&Event::plain("play"));
+        assert_eq!(e.active_leaf_name(), "playing");
+        e.step(&Event::plain("pause"));
+        assert_eq!(e.active_leaf_name(), "paused");
+        e.step(&Event::plain("pause"));
+        assert_eq!(e.active_leaf_name(), "playing");
+        e.step(&Event::plain("stop"));
+        assert_eq!(e.active_leaf_name(), "stopped");
+        assert_eq!(
+            e.last_output("player.state"),
+            Some(&Value::Str("stopped".into()))
+        );
+    }
+
+    #[test]
+    fn pause_in_stopped_is_ignored() {
+        let m = player_spec_machine();
+        let mut e = Executor::new(&m);
+        e.start();
+        e.step(&Event::plain("pause"));
+        assert_eq!(e.active_leaf_name(), "stopped");
+        assert!(e.last_output("player.state").is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based robustness tests of the media-player SUO.
+
+use mediasim::{MediaPlayer, MediaStream, PlayerConfig, PlayerState};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+
+fn arb_cmd() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["play", "pause", "stop", "seek", "garbage"])
+}
+
+proptest! {
+    /// The player never panics and keeps position within stream bounds
+    /// under arbitrary command/frame interleavings.
+    #[test]
+    fn player_invariants(
+        frames in 1u64..200,
+        corruption in 0.0f64..0.5,
+        ops in prop::collection::vec((arb_cmd(), 0u64..5), 1..80)
+    ) {
+        let mut p = MediaPlayer::new(PlayerConfig::default());
+        p.load(MediaStream::with_corruption(frames, corruption, 7));
+        let mut now = SimTime::ZERO;
+        for (cmd, play_frames) in ops {
+            now += SimDuration::from_millis(40);
+            p.command(now, cmd);
+            p.run_frames(play_frames);
+            now = p.now().max(now);
+            prop_assert!(p.position() <= frames);
+            if p.state() == PlayerState::Stopped && cmd == "stop" {
+                prop_assert_eq!(p.position(), 0);
+            }
+        }
+    }
+
+    /// Conservation: over a full playback, rendered + late equals the
+    /// stream length, regardless of corruption.
+    #[test]
+    fn full_playback_accounts_for_every_frame(
+        frames in 1u64..300,
+        corruption in 0.0f64..0.5,
+        seed in 0u64..50
+    ) {
+        let mut p = MediaPlayer::new(PlayerConfig::default());
+        p.load(MediaStream::with_corruption(frames, corruption, seed));
+        p.command(SimTime::ZERO, "play");
+        p.run_frames(frames + 10);
+        prop_assert_eq!(p.frames_rendered() + p.frames_late(), frames);
+        prop_assert_eq!(p.state(), PlayerState::Stopped);
+    }
+
+    /// A clean stream never renders late.
+    #[test]
+    fn clean_stream_never_late(frames in 1u64..300) {
+        let mut p = MediaPlayer::new(PlayerConfig::default());
+        p.load(MediaStream::clean(frames));
+        p.command(SimTime::ZERO, "play");
+        p.run_frames(frames);
+        prop_assert_eq!(p.frames_late(), 0);
+        prop_assert_eq!(p.frames_rendered(), frames);
+    }
+}

@@ -1,0 +1,183 @@
+//! Call-stack recording.
+//!
+//! The paper's hardware observation work monitors call stacks — functions,
+//! parameters and result values — through the on-chip debug interface
+//! (Sect. 4.1). This recorder tracks the same shape of data for simulated
+//! code and flags overflow/underflow anomalies.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+
+/// One recorded call event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallRecord {
+    /// When the call happened.
+    pub time: SimTime,
+    /// Function name.
+    pub function: String,
+    /// Stack depth *after* the call.
+    pub depth: usize,
+}
+
+/// Records function entry/exit and tracks stack depth.
+///
+/// ```
+/// use observe::CallStackRecorder;
+/// use simkit::SimTime;
+///
+/// let mut cs = CallStackRecorder::new(64);
+/// cs.call(SimTime::ZERO, "main");
+/// cs.call(SimTime::ZERO, "decode");
+/// assert_eq!(cs.depth(), 2);
+/// assert_eq!(cs.current(), Some("decode"));
+/// cs.ret(SimTime::ZERO);
+/// assert_eq!(cs.depth(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CallStackRecorder {
+    stack: Vec<String>,
+    max_depth: usize,
+    deepest_seen: usize,
+    overflows: u64,
+    underflows: u64,
+    history: Vec<CallRecord>,
+    record_history: bool,
+}
+
+impl CallStackRecorder {
+    /// Creates a recorder that flags depths beyond `max_depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` is zero.
+    pub fn new(max_depth: usize) -> Self {
+        assert!(max_depth > 0, "max depth must be positive");
+        CallStackRecorder {
+            stack: Vec::new(),
+            max_depth,
+            deepest_seen: 0,
+            overflows: 0,
+            underflows: 0,
+            history: Vec::new(),
+            record_history: false,
+        }
+    }
+
+    /// Enables per-call history recording (off by default: overhead).
+    pub fn set_record_history(&mut self, on: bool) {
+        self.record_history = on;
+    }
+
+    /// Records a function entry. Returns false when the call exceeded
+    /// `max_depth` (a stack-overflow symptom).
+    pub fn call(&mut self, time: SimTime, function: impl Into<String>) -> bool {
+        let function = function.into();
+        self.stack.push(function.clone());
+        self.deepest_seen = self.deepest_seen.max(self.stack.len());
+        if self.record_history {
+            self.history.push(CallRecord {
+                time,
+                function,
+                depth: self.stack.len(),
+            });
+        }
+        if self.stack.len() > self.max_depth {
+            self.overflows += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Records a function return. Returns false on underflow (a return
+    /// without a matching call — a corrupted-stack symptom).
+    pub fn ret(&mut self, _time: SimTime) -> bool {
+        if self.stack.pop().is_some() {
+            true
+        } else {
+            self.underflows += 1;
+            false
+        }
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Function on top of the stack.
+    pub fn current(&self) -> Option<&str> {
+        self.stack.last().map(String::as_str)
+    }
+
+    /// Full current stack, outermost first.
+    pub fn stack(&self) -> &[String] {
+        &self.stack
+    }
+
+    /// Deepest depth ever seen.
+    pub fn deepest_seen(&self) -> usize {
+        self.deepest_seen
+    }
+
+    /// Overflow events (calls past `max_depth`).
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Underflow events (returns with empty stack).
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Recorded history (empty unless enabled).
+    pub fn history(&self) -> &[CallRecord] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_ret_balance() {
+        let mut cs = CallStackRecorder::new(8);
+        assert!(cs.call(SimTime::ZERO, "a"));
+        assert!(cs.call(SimTime::ZERO, "b"));
+        assert_eq!(cs.stack(), &["a".to_owned(), "b".to_owned()]);
+        assert!(cs.ret(SimTime::ZERO));
+        assert_eq!(cs.current(), Some("a"));
+        assert!(cs.ret(SimTime::ZERO));
+        assert_eq!(cs.depth(), 0);
+        assert_eq!(cs.deepest_seen(), 2);
+    }
+
+    #[test]
+    fn overflow_flagged() {
+        let mut cs = CallStackRecorder::new(2);
+        cs.call(SimTime::ZERO, "a");
+        cs.call(SimTime::ZERO, "b");
+        assert!(!cs.call(SimTime::ZERO, "c"));
+        assert_eq!(cs.overflows(), 1);
+    }
+
+    #[test]
+    fn underflow_flagged() {
+        let mut cs = CallStackRecorder::new(2);
+        assert!(!cs.ret(SimTime::ZERO));
+        assert_eq!(cs.underflows(), 1);
+    }
+
+    #[test]
+    fn history_only_when_enabled() {
+        let mut cs = CallStackRecorder::new(4);
+        cs.call(SimTime::ZERO, "quiet");
+        assert!(cs.history().is_empty());
+        cs.set_record_history(true);
+        cs.call(SimTime::from_millis(1), "loud");
+        assert_eq!(cs.history().len(), 1);
+        assert_eq!(cs.history()[0].function, "loud");
+        assert_eq!(cs.history()[0].depth, 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Basic-block coverage recording.
+//!
+//! The diagnosis technique of the paper (Sect. 4.4, after Zoeteweij et al.)
+//! instruments the C code of the TV to record which of ~60 000 basic blocks
+//! execute between consecutive key presses. [`BlockCoverage`] is that
+//! instrumentation target: a dense bitset over block ids, snapshotted and
+//! reset at every scenario step to form one row of the spectrum matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// An immutable snapshot of which blocks were hit during one interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSnapshot {
+    words: Vec<u64>,
+    n_blocks: u32,
+}
+
+impl BlockSnapshot {
+    /// True if `block` was hit.
+    pub fn is_hit(&self, block: u32) -> bool {
+        if block >= self.n_blocks {
+            return false;
+        }
+        let (w, b) = (block / 64, block % 64);
+        self.words[w as usize] & (1u64 << b) != 0
+    }
+
+    /// Number of blocks hit.
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Total number of instrumented blocks.
+    pub fn n_blocks(&self) -> u32 {
+        self.n_blocks
+    }
+
+    /// Iterates over the hit block ids in ascending order.
+    pub fn iter_hits(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| wi as u32 * 64 + b)
+        })
+    }
+
+    /// Raw bitset words (used by the spectrum matrix without copying).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// A mutable block-hit recorder.
+///
+/// ```
+/// use observe::BlockCoverage;
+///
+/// let mut cov = BlockCoverage::new(1000);
+/// cov.hit(3);
+/// cov.hit(999);
+/// let snap = cov.snapshot_and_reset();
+/// assert_eq!(snap.count(), 2);
+/// assert!(snap.is_hit(3));
+/// assert!(!cov.any_hit()); // reset
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockCoverage {
+    words: Vec<u64>,
+    n_blocks: u32,
+    total_hits: u64,
+}
+
+impl BlockCoverage {
+    /// Creates coverage over `n_blocks` instrumented blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_blocks` is zero.
+    pub fn new(n_blocks: u32) -> Self {
+        assert!(n_blocks > 0, "need at least one block");
+        BlockCoverage {
+            words: vec![0u64; n_blocks.div_ceil(64) as usize],
+            n_blocks,
+            total_hits: 0,
+        }
+    }
+
+    /// Number of instrumented blocks.
+    pub fn n_blocks(&self) -> u32 {
+        self.n_blocks
+    }
+
+    /// Records execution of `block`. Out-of-range ids are ignored (robust
+    /// against instrumentation drift).
+    #[inline]
+    pub fn hit(&mut self, block: u32) {
+        if block < self.n_blocks {
+            let (w, b) = (block / 64, block % 64);
+            self.words[w as usize] |= 1u64 << b;
+            self.total_hits += 1;
+        }
+    }
+
+    /// True if `block` is currently marked hit.
+    pub fn is_hit(&self, block: u32) -> bool {
+        if block >= self.n_blocks {
+            return false;
+        }
+        let (w, b) = (block / 64, block % 64);
+        self.words[w as usize] & (1u64 << b) != 0
+    }
+
+    /// True if anything was hit since the last reset.
+    pub fn any_hit(&self) -> bool {
+        self.words.iter().any(|w| *w != 0)
+    }
+
+    /// Number of distinct blocks currently marked.
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Total `hit` calls (including repeats) over the recorder's lifetime.
+    pub fn total_hits(&self) -> u64 {
+        self.total_hits
+    }
+
+    /// Snapshots the current hits and clears the recorder — one scenario
+    /// step's spectrum row.
+    pub fn snapshot_and_reset(&mut self) -> BlockSnapshot {
+        let snap = BlockSnapshot {
+            words: self.words.clone(),
+            n_blocks: self.n_blocks,
+        };
+        self.words.iter_mut().for_each(|w| *w = 0);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_query() {
+        let mut cov = BlockCoverage::new(130);
+        cov.hit(0);
+        cov.hit(64);
+        cov.hit(129);
+        assert!(cov.is_hit(0));
+        assert!(cov.is_hit(64));
+        assert!(cov.is_hit(129));
+        assert!(!cov.is_hit(1));
+        assert_eq!(cov.count(), 3);
+    }
+
+    #[test]
+    fn repeat_hits_count_once_in_bitset() {
+        let mut cov = BlockCoverage::new(10);
+        cov.hit(5);
+        cov.hit(5);
+        assert_eq!(cov.count(), 1);
+        assert_eq!(cov.total_hits(), 2);
+    }
+
+    #[test]
+    fn out_of_range_ignored() {
+        let mut cov = BlockCoverage::new(10);
+        cov.hit(10);
+        cov.hit(u32::MAX);
+        assert!(!cov.any_hit());
+        assert!(!cov.is_hit(10));
+    }
+
+    #[test]
+    fn snapshot_resets() {
+        let mut cov = BlockCoverage::new(100);
+        cov.hit(42);
+        let snap = cov.snapshot_and_reset();
+        assert!(snap.is_hit(42));
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.n_blocks(), 100);
+        assert!(!cov.any_hit());
+        assert_eq!(cov.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_iter_hits() {
+        let mut cov = BlockCoverage::new(200);
+        for b in [3u32, 64, 65, 199] {
+            cov.hit(b);
+        }
+        let snap = cov.snapshot_and_reset();
+        let hits: Vec<u32> = snap.iter_hits().collect();
+        assert_eq!(hits, vec![3, 64, 65, 199]);
+        assert!(!snap.is_hit(200));
+    }
+
+    #[test]
+    fn scale_to_sixty_thousand_blocks() {
+        // The paper's experiment size: 60 000 blocks.
+        let mut cov = BlockCoverage::new(60_000);
+        for b in (0..60_000).step_by(7) {
+            cov.hit(b);
+        }
+        let snap = cov.snapshot_and_reset();
+        assert_eq!(snap.count(), 60_000 / 7 + 1);
+        assert_eq!(snap.words().len(), 60_000usize.div_ceil(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = BlockCoverage::new(0);
+    }
+}

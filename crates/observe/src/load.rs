@@ -1,0 +1,162 @@
+//! Sliding-window resource-load observation.
+//!
+//! The paper lists "load of processors and busses" among the observations a
+//! TV awareness monitor needs (Sect. 3). A [`LoadProbe`] ingests busy/idle
+//! samples and answers windowed utilization queries.
+
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A sample: utilization fraction over the interval since the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct LoadSample {
+    time: SimTime,
+    fraction: f64,
+}
+
+/// Sliding-window load average over a fixed horizon.
+///
+/// ```
+/// use observe::LoadProbe;
+/// use simkit::{SimDuration, SimTime};
+///
+/// let mut probe = LoadProbe::new("cpu0", SimDuration::from_millis(100));
+/// probe.sample(SimTime::from_millis(10), 0.2);
+/// probe.sample(SimTime::from_millis(20), 0.8);
+/// assert!((probe.average() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadProbe {
+    name: String,
+    window: SimDuration,
+    samples: VecDeque<LoadSample>,
+    peak: f64,
+}
+
+impl LoadProbe {
+    /// Creates a probe averaging over `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(name: impl Into<String>, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        LoadProbe {
+            name: name.into(),
+            window,
+            samples: VecDeque::new(),
+            peak: 0.0,
+        }
+    }
+
+    /// The monitored resource's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ingests a utilization sample at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]` or not finite.
+    pub fn sample(&mut self, time: SimTime, fraction: f64) {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "load fraction must be in [0,1], got {fraction}"
+        );
+        self.peak = self.peak.max(fraction);
+        self.samples.push_back(LoadSample { time, fraction });
+        let cutoff = time - self.window;
+        while let Some(front) = self.samples.front() {
+            if front.time < cutoff {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Mean of the samples currently in the window (0.0 when empty).
+    pub fn average(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.fraction).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<f64> {
+        self.samples.back().map(|s| s.fraction)
+    }
+
+    /// Highest sample ever seen (not windowed).
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// True when the windowed average exceeds `threshold` — the overload
+    /// condition that triggers load-balancing recovery (Sect. 4.5).
+    pub fn is_overloaded(&self, threshold: f64) -> bool {
+        self.average() > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_window() {
+        let mut p = LoadProbe::new("cpu", SimDuration::from_millis(100));
+        p.sample(SimTime::from_millis(10), 0.4);
+        p.sample(SimTime::from_millis(20), 0.6);
+        assert!((p.average() - 0.5).abs() < 1e-12);
+        assert_eq!(p.latest(), Some(0.6));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn old_samples_fall_out() {
+        let mut p = LoadProbe::new("cpu", SimDuration::from_millis(50));
+        p.sample(SimTime::from_millis(0), 1.0);
+        p.sample(SimTime::from_millis(100), 0.0);
+        // First sample is older than 100-50=50 cutoff.
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.average(), 0.0);
+        assert_eq!(p.peak(), 1.0);
+    }
+
+    #[test]
+    fn empty_average_is_zero() {
+        let p = LoadProbe::new("cpu", SimDuration::from_millis(10));
+        assert_eq!(p.average(), 0.0);
+        assert!(p.is_empty());
+        assert_eq!(p.latest(), None);
+    }
+
+    #[test]
+    fn overload_detection() {
+        let mut p = LoadProbe::new("cpu", SimDuration::from_millis(100));
+        p.sample(SimTime::from_millis(1), 0.95);
+        assert!(p.is_overloaded(0.9));
+        assert!(!p.is_overloaded(0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "load fraction")]
+    fn rejects_out_of_range() {
+        let mut p = LoadProbe::new("cpu", SimDuration::from_millis(10));
+        p.sample(SimTime::ZERO, 1.5);
+    }
+}

@@ -1,0 +1,210 @@
+//! The probe registry: named observation points with enable/disable and
+//! overhead accounting.
+
+use crate::observation::{Observation, ObservationKind};
+use crate::overhead::OverheadAccount;
+use crate::ring::RingBuffer;
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Identifier of a registered probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProbeId(pub u32);
+
+#[derive(Debug, Clone)]
+struct ProbeInfo {
+    name: String,
+    enabled: bool,
+    cost: SimDuration,
+    fires: u64,
+}
+
+/// A registry of observation points.
+///
+/// Each probe has a per-firing cost, so the total monitoring overhead —
+/// a first-order concern for high-volume products — is accounted for and
+/// queryable (see [`ProbeRegistry::overhead`]).
+///
+/// ```
+/// use observe::{ProbeRegistry, ObservationKind};
+/// use simkit::{SimDuration, SimTime};
+///
+/// let mut reg = ProbeRegistry::new(1024);
+/// let key_probe = reg.register("remote.keys", SimDuration::from_nanos(200));
+/// reg.fire(key_probe, SimTime::ZERO, ObservationKind::KeyPress { key: "ok".into(), code: None });
+/// assert_eq!(reg.observations().count(), 1);
+/// assert_eq!(reg.fire_count(key_probe), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbeRegistry {
+    probes: BTreeMap<ProbeId, ProbeInfo>,
+    next_id: u32,
+    buffer: RingBuffer<Observation>,
+    overhead: OverheadAccount,
+}
+
+impl ProbeRegistry {
+    /// Creates a registry retaining at most `buffer_capacity` observations.
+    pub fn new(buffer_capacity: usize) -> Self {
+        ProbeRegistry {
+            probes: BTreeMap::new(),
+            next_id: 0,
+            buffer: RingBuffer::new(buffer_capacity),
+            overhead: OverheadAccount::default(),
+        }
+    }
+
+    /// Registers a probe with a per-firing cost; returns its id.
+    pub fn register(&mut self, name: impl Into<String>, cost: SimDuration) -> ProbeId {
+        let id = ProbeId(self.next_id);
+        self.next_id += 1;
+        self.probes.insert(
+            id,
+            ProbeInfo {
+                name: name.into(),
+                enabled: true,
+                cost,
+                fires: 0,
+            },
+        );
+        id
+    }
+
+    /// The probe's name.
+    pub fn name(&self, id: ProbeId) -> Option<&str> {
+        self.probes.get(&id).map(|p| p.name.as_str())
+    }
+
+    /// Enables or disables a probe. Disabled probes drop their firings and
+    /// incur no cost (how a deployment trims monitoring overhead).
+    pub fn set_enabled(&mut self, id: ProbeId, enabled: bool) {
+        if let Some(p) = self.probes.get_mut(&id) {
+            p.enabled = enabled;
+        }
+    }
+
+    /// True if the probe exists and is enabled.
+    pub fn is_enabled(&self, id: ProbeId) -> bool {
+        self.probes.get(&id).is_some_and(|p| p.enabled)
+    }
+
+    /// Fires a probe: records an observation and accounts its cost.
+    ///
+    /// Returns true if the observation was recorded (probe exists and is
+    /// enabled).
+    pub fn fire(&mut self, id: ProbeId, now: SimTime, kind: ObservationKind) -> bool {
+        let Some(p) = self.probes.get_mut(&id) else {
+            return false;
+        };
+        if !p.enabled {
+            return false;
+        }
+        p.fires += 1;
+        self.overhead.charge(p.cost);
+        let source = p.name.clone();
+        self.buffer.push(Observation::new(now, source, kind));
+        true
+    }
+
+    /// Number of times the probe fired while enabled.
+    pub fn fire_count(&self, id: ProbeId) -> u64 {
+        self.probes.get(&id).map_or(0, |p| p.fires)
+    }
+
+    /// Iterates over retained observations, oldest first.
+    pub fn observations(&self) -> impl Iterator<Item = &Observation> {
+        self.buffer.iter()
+    }
+
+    /// Removes and returns all retained observations.
+    pub fn drain(&mut self) -> Vec<Observation> {
+        self.buffer.drain()
+    }
+
+    /// Observations evicted because the buffer was full.
+    pub fn evicted(&self) -> u64 {
+        self.buffer.evicted()
+    }
+
+    /// Total monitoring overhead charged so far.
+    pub fn overhead(&self) -> &OverheadAccount {
+        &self.overhead
+    }
+
+    /// Number of registered probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True when no probe is registered.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind() -> ObservationKind {
+        ObservationKind::Value {
+            name: "x".into(),
+            value: 1.0,
+        }
+    }
+
+    #[test]
+    fn register_and_fire() {
+        let mut reg = ProbeRegistry::new(16);
+        let p = reg.register("p", SimDuration::from_nanos(100));
+        assert_eq!(reg.name(p), Some("p"));
+        assert!(reg.fire(p, SimTime::ZERO, kind()));
+        assert_eq!(reg.fire_count(p), 1);
+        assert_eq!(reg.observations().count(), 1);
+        assert_eq!(reg.overhead().total(), SimDuration::from_nanos(100));
+    }
+
+    #[test]
+    fn disabled_probe_is_free_and_silent() {
+        let mut reg = ProbeRegistry::new(16);
+        let p = reg.register("p", SimDuration::from_nanos(100));
+        reg.set_enabled(p, false);
+        assert!(!reg.is_enabled(p));
+        assert!(!reg.fire(p, SimTime::ZERO, kind()));
+        assert_eq!(reg.fire_count(p), 0);
+        assert_eq!(reg.overhead().total(), SimDuration::ZERO);
+        reg.set_enabled(p, true);
+        assert!(reg.fire(p, SimTime::ZERO, kind()));
+    }
+
+    #[test]
+    fn unknown_probe_rejected() {
+        let mut reg = ProbeRegistry::new(16);
+        assert!(!reg.fire(ProbeId(9), SimTime::ZERO, kind()));
+        assert_eq!(reg.name(ProbeId(9)), None);
+    }
+
+    #[test]
+    fn buffer_evicts_when_full() {
+        let mut reg = ProbeRegistry::new(2);
+        let p = reg.register("p", SimDuration::ZERO);
+        for _ in 0..5 {
+            reg.fire(p, SimTime::ZERO, kind());
+        }
+        assert_eq!(reg.observations().count(), 2);
+        assert_eq!(reg.evicted(), 3);
+        assert_eq!(reg.drain().len(), 2);
+        assert_eq!(reg.observations().count(), 0);
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let mut reg = ProbeRegistry::new(4);
+        let a = reg.register("a", SimDuration::ZERO);
+        let b = reg.register("b", SimDuration::ZERO);
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Value range checking.
+//!
+//! Hardware-supported range checking is one of the observation/detection
+//! mechanisms the paper exploits (Sect. 4.1, 4.3): a monitored value leaving
+//! its legal interval is an error symptom.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+use std::fmt;
+
+/// A detected range violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeViolation {
+    /// The probe's value name.
+    pub name: String,
+    /// When it was observed.
+    pub time: SimTime,
+    /// The offending value.
+    pub value: f64,
+    /// The legal interval.
+    pub bounds: (f64, f64),
+}
+
+impl fmt::Display for RangeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {} outside [{}, {}] at {}",
+            self.name, self.value, self.bounds.0, self.bounds.1, self.time
+        )
+    }
+}
+
+/// Checks a named value against a legal interval.
+///
+/// ```
+/// use observe::RangeProbe;
+/// use simkit::SimTime;
+///
+/// let mut probe = RangeProbe::new("volume", 0.0, 100.0);
+/// assert!(probe.check(SimTime::ZERO, 50.0).is_none());
+/// assert!(probe.check(SimTime::ZERO, 130.0).is_some());
+/// assert_eq!(probe.violations(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeProbe {
+    name: String,
+    min: f64,
+    max: f64,
+    checks: u64,
+    violations: u64,
+}
+
+impl RangeProbe {
+    /// Creates a probe with inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either bound is NaN.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
+        assert!(!min.is_nan() && !max.is_nan(), "bounds must not be NaN");
+        assert!(min <= max, "min must not exceed max");
+        RangeProbe {
+            name: name.into(),
+            min,
+            max,
+            checks: 0,
+            violations: 0,
+        }
+    }
+
+    /// The probe's value name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The legal interval.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// Checks a sample; returns a violation record if out of bounds.
+    ///
+    /// NaN samples always violate.
+    pub fn check(&mut self, time: SimTime, value: f64) -> Option<RangeViolation> {
+        self.checks += 1;
+        let ok = value >= self.min && value <= self.max;
+        if ok {
+            None
+        } else {
+            self.violations += 1;
+            Some(RangeViolation {
+                name: self.name.clone(),
+                time,
+                value,
+                bounds: (self.min, self.max),
+            })
+        }
+    }
+
+    /// Samples checked so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Violations seen so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_passes() {
+        let mut p = RangeProbe::new("x", -1.0, 1.0);
+        assert!(p.check(SimTime::ZERO, 0.0).is_none());
+        assert!(p.check(SimTime::ZERO, -1.0).is_none());
+        assert!(p.check(SimTime::ZERO, 1.0).is_none());
+        assert_eq!(p.checks(), 3);
+        assert_eq!(p.violations(), 0);
+    }
+
+    #[test]
+    fn out_of_range_reports() {
+        let mut p = RangeProbe::new("x", 0.0, 10.0);
+        let v = p.check(SimTime::from_millis(3), 12.0).unwrap();
+        assert_eq!(v.value, 12.0);
+        assert_eq!(v.bounds, (0.0, 10.0));
+        assert_eq!(p.violations(), 1);
+        assert!(v.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn nan_always_violates() {
+        let mut p = RangeProbe::new("x", 0.0, 1.0);
+        assert!(p.check(SimTime::ZERO, f64::NAN).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn inverted_bounds_panic() {
+        let _ = RangeProbe::new("x", 2.0, 1.0);
+    }
+}

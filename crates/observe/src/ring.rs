@@ -1,0 +1,120 @@
+//! A bounded ring buffer for trace retention.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO that evicts its oldest element when full —
+/// the retention model of on-chip trace buffers.
+///
+/// ```
+/// use observe::RingBuffer;
+/// let mut ring = RingBuffer::new(2);
+/// ring.push(1);
+/// ring.push(2);
+/// ring.push(3);
+/// assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// assert_eq!(ring.evicted(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring retaining at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingBuffer {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Appends an item, evicting the oldest when at capacity.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+            self.evicted += 1;
+        }
+        self.items.push_back(item);
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum retained items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Removes and returns all retained items, oldest first.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.items.drain(..).collect()
+    }
+
+    /// The most recent item, if any.
+    pub fn latest(&self) -> Option<&T> {
+        self.items.back()
+    }
+}
+
+impl<T> Extend<T> for RingBuffer<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest() {
+        let mut r = RingBuffer::new(3);
+        r.extend(0..10);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(r.evicted(), 7);
+        assert_eq!(r.latest(), Some(&9));
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut r = RingBuffer::new(4);
+        r.extend([1, 2]);
+        assert_eq!(r.drain(), vec![1, 2]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: RingBuffer<u8> = RingBuffer::new(0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # perception — user-perceived failure severity
+//!
+//! The DTI research thread of the Trader project (paper Sect. 4.6): "to
+//! capture user-perceived failure severity, to get an indication of the
+//! level of user-irritation caused by a product failure", studying the
+//! impact of **product usage**, **user group**, and **function
+//! importance** — and the finding that **failure attribution** has a
+//! significant impact: "users, when asked, rank both image quality and a
+//! motorized swivel as important. Under observation, however, users
+//! often turn out to be very tolerant concerning bad image quality (which
+//! is attributed to external sources), but get irritated if the swivel
+//! does not work correctly."
+//!
+//! Human panels are not reproducible in a library; this crate provides a
+//! calibrated parametric model ([`IrritationModel`]) plus a synthetic
+//! panel ([`Panel`]) and a factorial controlled-experiment harness
+//! ([`experiment`]) that regenerate the reported *finding shape*:
+//! attribution dominates stated importance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod experiment;
+pub mod failure;
+pub mod irritation;
+pub mod panel;
+pub mod usage;
+
+pub use attribution::Attribution;
+pub use experiment::{run_factorial, EffectSizes, FactorialDesign};
+pub use failure::{FailureIncident, ProductFunction};
+pub use irritation::IrritationModel;
+pub use panel::{Panel, PanelResult};
+pub use usage::{UsageProfile, UserGroup};

@@ -1,0 +1,124 @@
+//! Checkpoints of recoverable-unit state.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A unit's state snapshot: named scalar values (the lowest common
+/// denominator the fault-tolerance library serializes).
+pub type Snapshot = BTreeMap<String, f64>;
+
+/// A bounded per-unit checkpoint history.
+///
+/// ```
+/// use recovery::CheckpointStore;
+/// use simkit::SimTime;
+/// use std::collections::BTreeMap;
+///
+/// let mut store = CheckpointStore::new(2);
+/// let mut snap = BTreeMap::new();
+/// snap.insert("volume".to_owned(), 20.0);
+/// store.save("audio", SimTime::ZERO, snap.clone());
+/// assert_eq!(store.latest("audio"), Some(&snap));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointStore {
+    capacity: usize,
+    per_unit: BTreeMap<String, VecDeque<(SimTime, Snapshot)>>,
+}
+
+impl CheckpointStore {
+    /// Creates a store keeping at most `capacity` checkpoints per unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        CheckpointStore {
+            capacity,
+            per_unit: BTreeMap::new(),
+        }
+    }
+
+    /// Saves a checkpoint for `unit` at `time`.
+    pub fn save(&mut self, unit: &str, time: SimTime, snapshot: Snapshot) {
+        let q = self.per_unit.entry(unit.to_owned()).or_default();
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back((time, snapshot));
+    }
+
+    /// The most recent checkpoint for `unit`.
+    pub fn latest(&self, unit: &str) -> Option<&Snapshot> {
+        self.per_unit.get(unit).and_then(|q| q.back()).map(|(_, s)| s)
+    }
+
+    /// The most recent checkpoint at or before `time`.
+    pub fn at_or_before(&self, unit: &str, time: SimTime) -> Option<&Snapshot> {
+        self.per_unit
+            .get(unit)?
+            .iter()
+            .rev()
+            .find(|(t, _)| *t <= time)
+            .map(|(_, s)| s)
+    }
+
+    /// Number of checkpoints retained for `unit`.
+    pub fn count(&self, unit: &str) -> usize {
+        self.per_unit.get(unit).map_or(0, |q| q.len())
+    }
+
+    /// Drops all checkpoints of `unit`.
+    pub fn clear(&mut self, unit: &str) {
+        self.per_unit.remove(unit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(v: f64) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.insert("x".into(), v);
+        s
+    }
+
+    #[test]
+    fn saves_and_retrieves_latest() {
+        let mut store = CheckpointStore::new(3);
+        store.save("u", SimTime::from_millis(1), snap(1.0));
+        store.save("u", SimTime::from_millis(2), snap(2.0));
+        assert_eq!(store.latest("u").unwrap()["x"], 2.0);
+        assert_eq!(store.count("u"), 2);
+        assert!(store.latest("other").is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut store = CheckpointStore::new(2);
+        for i in 1..=4u64 {
+            store.save("u", SimTime::from_millis(i), snap(i as f64));
+        }
+        assert_eq!(store.count("u"), 2);
+        assert_eq!(store.at_or_before("u", SimTime::from_millis(3)).unwrap()["x"], 3.0);
+        // Oldest retained is 3: nothing at or before 2.
+        assert!(store.at_or_before("u", SimTime::from_millis(2)).is_none());
+    }
+
+    #[test]
+    fn clear_removes_unit_history() {
+        let mut store = CheckpointStore::new(2);
+        store.save("u", SimTime::ZERO, snap(1.0));
+        store.clear("u");
+        assert_eq!(store.count("u"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = CheckpointStore::new(0);
+    }
+}

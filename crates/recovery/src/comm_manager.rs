@@ -1,0 +1,239 @@
+//! The communication manager: controls messages between recoverable units.
+//!
+//! While a unit restarts, its peers keep sending; the communication
+//! manager decides what happens to those messages (queue for redelivery or
+//! drop), which is what makes *independent* recovery possible without
+//! stopping the whole system (paper Sect. 4.5).
+
+use crate::unit::UnitHost;
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A message between recoverable units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitMessage {
+    /// Destination unit.
+    pub to: String,
+    /// Application topic.
+    pub topic: String,
+    /// Scalar payload.
+    pub value: f64,
+    /// Where replies go, if anywhere.
+    pub reply_to: Option<String>,
+}
+
+/// What to do with messages addressed to a restarting unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestartPolicy {
+    /// Queue and redeliver when the unit is back (lossless, higher memory).
+    Queue,
+    /// Drop (lossy, zero overhead — acceptable for idempotent streams).
+    Drop,
+}
+
+/// Communication statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Messages delivered directly.
+    pub delivered: u64,
+    /// Messages queued during a restart.
+    pub queued: u64,
+    /// Messages redelivered after a restart.
+    pub redelivered: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+}
+
+/// Routes messages between units, honoring restart policies.
+#[derive(Debug)]
+pub struct CommManager {
+    default_policy: RestartPolicy,
+    policies: BTreeMap<String, RestartPolicy>,
+    pending: BTreeMap<String, VecDeque<UnitMessage>>,
+    stats: CommStats,
+}
+
+impl CommManager {
+    /// Creates a manager with the given default restart policy.
+    pub fn new(default_policy: RestartPolicy) -> Self {
+        CommManager {
+            default_policy,
+            policies: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Overrides the policy for one unit.
+    pub fn set_policy(&mut self, unit: &str, policy: RestartPolicy) {
+        self.policies.insert(unit.to_owned(), policy);
+    }
+
+    /// The policy for `unit`.
+    pub fn policy(&self, unit: &str) -> RestartPolicy {
+        self.policies
+            .get(unit)
+            .copied()
+            .unwrap_or(self.default_policy)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Messages queued for `unit`.
+    pub fn queued_for(&self, unit: &str) -> usize {
+        self.pending.get(unit).map_or(0, |q| q.len())
+    }
+
+    /// Sends a message, cascading responses breadth-first.
+    ///
+    /// Returns the number of messages delivered (including cascades).
+    pub fn send(&mut self, now: SimTime, host: &mut UnitHost, message: UnitMessage) -> u64 {
+        let mut frontier = VecDeque::from([message]);
+        let mut delivered = 0;
+        // Bounded cascade to keep misbehaving units from looping forever.
+        let mut budget = 10_000u32;
+        while let Some(msg) = frontier.pop_front() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            if msg.to.is_empty() {
+                continue;
+            }
+            match host.deliver(now, &msg) {
+                Some(responses) => {
+                    delivered += 1;
+                    self.stats.delivered += 1;
+                    frontier.extend(responses);
+                }
+                None => match self.policy(&msg.to) {
+                    RestartPolicy::Queue if host.status(&msg.to).is_some() => {
+                        self.stats.queued += 1;
+                        self.pending.entry(msg.to.clone()).or_default().push_back(msg);
+                    }
+                    _ => {
+                        self.stats.dropped += 1;
+                    }
+                },
+            }
+        }
+        delivered
+    }
+
+    /// Redelivers queued messages to units that came back at `now`.
+    ///
+    /// Call after [`UnitHost::tick`]; `returned` is its result.
+    pub fn flush_returned(
+        &mut self,
+        now: SimTime,
+        host: &mut UnitHost,
+        returned: &[String],
+    ) -> u64 {
+        let mut total = 0;
+        for unit in returned {
+            let Some(queue) = self.pending.remove(unit) else {
+                continue;
+            };
+            for msg in queue {
+                self.stats.redelivered += 1;
+                total += self.send(now, host, msg);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{CounterUnit, UnitStatus};
+
+    fn msg(to: &str) -> UnitMessage {
+        UnitMessage {
+            to: to.into(),
+            topic: "tick".into(),
+            value: 1.0,
+            reply_to: None,
+        }
+    }
+
+    #[test]
+    fn direct_delivery() {
+        let mut host = UnitHost::new();
+        host.register(CounterUnit::new("a"));
+        let mut comm = CommManager::new(RestartPolicy::Queue);
+        assert_eq!(comm.send(SimTime::ZERO, &mut host, msg("a")), 1);
+        assert_eq!(comm.stats().delivered, 1);
+    }
+
+    #[test]
+    fn queue_policy_redelivers_after_restart() {
+        let mut host = UnitHost::new();
+        host.register(CounterUnit::new("a"));
+        host.set_status("a", UnitStatus::Restarting {
+            until: SimTime::from_millis(10),
+        });
+        let mut comm = CommManager::new(RestartPolicy::Queue);
+        comm.send(SimTime::ZERO, &mut host, msg("a"));
+        comm.send(SimTime::ZERO, &mut host, msg("a"));
+        assert_eq!(comm.queued_for("a"), 2);
+        let returned = host.tick(SimTime::from_millis(10));
+        let redelivered = comm.flush_returned(SimTime::from_millis(10), &mut host, &returned);
+        assert_eq!(redelivered, 2);
+        assert_eq!(comm.stats().redelivered, 2);
+        assert_eq!(comm.queued_for("a"), 0);
+    }
+
+    #[test]
+    fn drop_policy_loses_messages() {
+        let mut host = UnitHost::new();
+        host.register(CounterUnit::new("a"));
+        host.set_status("a", UnitStatus::Restarting {
+            until: SimTime::from_millis(10),
+        });
+        let mut comm = CommManager::new(RestartPolicy::Drop);
+        comm.send(SimTime::ZERO, &mut host, msg("a"));
+        assert_eq!(comm.stats().dropped, 1);
+        assert_eq!(comm.queued_for("a"), 0);
+    }
+
+    #[test]
+    fn per_unit_policy_override() {
+        let mut comm = CommManager::new(RestartPolicy::Queue);
+        comm.set_policy("video", RestartPolicy::Drop);
+        assert_eq!(comm.policy("video"), RestartPolicy::Drop);
+        assert_eq!(comm.policy("audio"), RestartPolicy::Queue);
+    }
+
+    #[test]
+    fn unknown_destination_dropped_even_with_queue_policy() {
+        let mut host = UnitHost::new();
+        let mut comm = CommManager::new(RestartPolicy::Queue);
+        comm.send(SimTime::ZERO, &mut host, msg("ghost"));
+        assert_eq!(comm.stats().dropped, 1);
+    }
+
+    #[test]
+    fn responses_cascade() {
+        let mut host = UnitHost::new();
+        host.register(CounterUnit::new("a"));
+        host.register(CounterUnit::new("b"));
+        let mut comm = CommManager::new(RestartPolicy::Queue);
+        // "ping" to a replies to b, which counts it.
+        let delivered = comm.send(
+            SimTime::ZERO,
+            &mut host,
+            UnitMessage {
+                to: "a".into(),
+                topic: "ping".into(),
+                value: 0.0,
+                reply_to: Some("b".into()),
+            },
+        );
+        assert_eq!(delivered, 2);
+    }
+}

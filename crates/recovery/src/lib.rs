@@ -1,0 +1,40 @@
+//! # recovery — partial recovery, load balancing, adaptive arbitration
+//!
+//! The recovery research of the Trader project (paper Sect. 4.5):
+//!
+//! * **Recoverable units** (Twente University): a framework "which allows
+//!   independent recovery of parts of the system", with a *communication
+//!   manager* controlling messages between units and a *recovery manager*
+//!   executing recovery actions "such as killing and restarting units".
+//!   See [`RecoverableUnit`], [`UnitHost`], [`CommManager`],
+//!   [`RecoveryManager`].
+//! * **Load balancing** (IMEC): migrating an image-processing task off an
+//!   overloaded processor improves image quality under overload. See
+//!   [`LoadBalancer`]; the migration mechanism lives in
+//!   `tvsim::StreamingPipeline`.
+//! * **Adaptive memory arbitration** (NXP Research): re-allocating
+//!   arbiter slots at run time to resolve memory-access problems. See
+//!   [`AdaptiveArbiter`] over `simkit::MemoryArbiter`.
+//! * A **reusable fault-tolerance library**: [`library::retry`],
+//!   [`library::CircuitBreaker`], [`library::Redundant`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod comm_manager;
+pub mod library;
+pub mod loadbalance;
+pub mod memarbiter;
+pub mod policy;
+pub mod recovery_manager;
+pub mod unit;
+
+pub use checkpoint::{CheckpointStore, Snapshot};
+pub use comm_manager::{CommManager, RestartPolicy, UnitMessage};
+pub use library::{retry, CircuitBreaker, Redundant};
+pub use loadbalance::{LoadBalancer, MigrationDecision};
+pub use memarbiter::AdaptiveArbiter;
+pub use policy::EscalationPolicy;
+pub use recovery_manager::{RecoveryAction, RecoveryManager, RecoveryRecord};
+pub use unit::{CounterUnit, RecoverableUnit, UnitHost, UnitStatus};

@@ -1,0 +1,310 @@
+//! The recovery manager: executes recovery actions.
+
+use crate::checkpoint::{CheckpointStore, Snapshot};
+use crate::unit::{UnitHost, UnitStatus};
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimTime};
+use std::fmt;
+
+/// A recovery action (paper Sect. 4.5: "recovery actions such as killing
+/// and restarting units").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// Kill and cold-restart one unit.
+    RestartUnit(String),
+    /// Restore one unit from its latest checkpoint (warm recovery).
+    RollbackUnit(String),
+    /// Kill a unit permanently (isolate a faulty third-party component).
+    KillUnit(String),
+    /// Restart the whole system (the classical, expensive fallback).
+    RestartAll,
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryAction::RestartUnit(u) => write!(f, "restart `{u}`"),
+            RecoveryAction::RollbackUnit(u) => write!(f, "rollback `{u}`"),
+            RecoveryAction::KillUnit(u) => write!(f, "kill `{u}`"),
+            RecoveryAction::RestartAll => f.write_str("restart all"),
+        }
+    }
+}
+
+/// A log record of one executed action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// When the action started.
+    pub time: SimTime,
+    /// The action.
+    pub action: RecoveryAction,
+    /// How long the affected functionality was (or will be) unavailable.
+    pub outage: SimDuration,
+}
+
+/// Executes recovery actions against a [`UnitHost`].
+///
+/// Timing model: restarting one unit costs `unit_restart`; restarting the
+/// whole system costs `full_restart` (typically 10–30× more — the cost
+/// asymmetry that motivates partial recovery); a rollback costs
+/// `rollback`.
+#[derive(Debug)]
+pub struct RecoveryManager {
+    unit_restart: SimDuration,
+    full_restart: SimDuration,
+    rollback: SimDuration,
+    checkpoints: CheckpointStore,
+    log: Vec<RecoveryRecord>,
+    total_outage: SimDuration,
+}
+
+impl RecoveryManager {
+    /// Creates a manager with the given action durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is zero.
+    pub fn new(unit_restart: SimDuration, full_restart: SimDuration, rollback: SimDuration) -> Self {
+        assert!(
+            !unit_restart.is_zero() && !full_restart.is_zero() && !rollback.is_zero(),
+            "recovery durations must be positive"
+        );
+        RecoveryManager {
+            unit_restart,
+            full_restart,
+            rollback,
+            checkpoints: CheckpointStore::new(8),
+            log: Vec::new(),
+            total_outage: SimDuration::ZERO,
+        }
+    }
+
+    /// A manager with the durations used in the recovery experiments:
+    /// 200 ms unit restart, 4 s full restart, 50 ms rollback.
+    pub fn with_defaults() -> Self {
+        RecoveryManager::new(
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(4),
+            SimDuration::from_millis(50),
+        )
+    }
+
+    /// The executed-action log.
+    pub fn log(&self) -> &[RecoveryRecord] {
+        &self.log
+    }
+
+    /// Cumulative user-visible outage across all actions.
+    pub fn total_outage(&self) -> SimDuration {
+        self.total_outage
+    }
+
+    /// The checkpoint store.
+    pub fn checkpoints(&self) -> &CheckpointStore {
+        &self.checkpoints
+    }
+
+    /// Checkpoints every running unit at `now`.
+    pub fn checkpoint_all(&mut self, now: SimTime, host: &mut UnitHost) {
+        let names: Vec<String> = host.names().iter().map(|s| s.to_string()).collect();
+        for name in names {
+            if host.is_running(&name) {
+                if let Some(unit) = host.unit(&name) {
+                    let snap: Snapshot = unit.checkpoint();
+                    self.checkpoints.save(&name, now, snap);
+                }
+            }
+        }
+    }
+
+    /// Executes an action at `now`.
+    ///
+    /// Returns the outage the action incurs, or `None` if the target does
+    /// not exist.
+    pub fn recover(
+        &mut self,
+        now: SimTime,
+        host: &mut UnitHost,
+        action: RecoveryAction,
+    ) -> Option<SimDuration> {
+        let outage = match &action {
+            RecoveryAction::RestartUnit(name) => {
+                host.status(name)?;
+                if let Some(unit) = host.unit_mut(name) {
+                    unit.reset();
+                }
+                host.set_status(
+                    name,
+                    UnitStatus::Restarting {
+                        until: now + self.unit_restart,
+                    },
+                );
+                self.unit_restart
+            }
+            RecoveryAction::RollbackUnit(name) => {
+                host.status(name)?;
+                let snap = self.checkpoints.latest(name)?.clone();
+                if let Some(unit) = host.unit_mut(name) {
+                    unit.restore(&snap);
+                }
+                host.set_status(
+                    name,
+                    UnitStatus::Restarting {
+                        until: now + self.rollback,
+                    },
+                );
+                self.rollback
+            }
+            RecoveryAction::KillUnit(name) => {
+                host.status(name)?;
+                host.set_status(name, UnitStatus::Failed);
+                SimDuration::ZERO
+            }
+            RecoveryAction::RestartAll => {
+                let names: Vec<String> = host.names().iter().map(|s| s.to_string()).collect();
+                for name in &names {
+                    if let Some(unit) = host.unit_mut(name) {
+                        unit.reset();
+                    }
+                    host.set_status(
+                        name,
+                        UnitStatus::Restarting {
+                            until: now + self.full_restart,
+                        },
+                    );
+                }
+                self.full_restart
+            }
+        };
+        self.total_outage += outage;
+        self.log.push(RecoveryRecord {
+            time: now,
+            action,
+            outage,
+        });
+        Some(outage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_manager::UnitMessage;
+    use crate::unit::CounterUnit;
+
+    fn msg(to: &str) -> UnitMessage {
+        UnitMessage {
+            to: to.into(),
+            topic: "tick".into(),
+            value: 0.0,
+            reply_to: None,
+        }
+    }
+
+    fn host_with(names: &[&str]) -> UnitHost {
+        let mut host = UnitHost::new();
+        for n in names {
+            host.register(CounterUnit::new(*n));
+        }
+        host
+    }
+
+    #[test]
+    fn restart_unit_resets_and_times_out() {
+        let mut host = host_with(&["a", "b"]);
+        host.deliver(SimTime::ZERO, &msg("a"));
+        let mut rm = RecoveryManager::with_defaults();
+        let outage = rm
+            .recover(SimTime::ZERO, &mut host, RecoveryAction::RestartUnit("a".into()))
+            .unwrap();
+        assert_eq!(outage, SimDuration::from_millis(200));
+        assert!(!host.is_running("a"));
+        assert!(host.is_running("b"), "partial recovery leaves peers running");
+        host.tick(SimTime::from_millis(200));
+        assert!(host.is_running("a"));
+        assert_eq!(rm.log().len(), 1);
+    }
+
+    #[test]
+    fn rollback_restores_checkpoint() {
+        let mut host = host_with(&["a"]);
+        host.deliver(SimTime::ZERO, &msg("a"));
+        host.deliver(SimTime::ZERO, &msg("a"));
+        let mut rm = RecoveryManager::with_defaults();
+        rm.checkpoint_all(SimTime::ZERO, &mut host);
+        host.deliver(SimTime::ZERO, &msg("a"));
+        rm.recover(
+            SimTime::ZERO,
+            &mut host,
+            RecoveryAction::RollbackUnit("a".into()),
+        )
+        .unwrap();
+        host.tick(SimTime::from_millis(50));
+        // Count restored to the checkpointed 2, not 3.
+        host.deliver(SimTime::from_millis(50), &msg("a"));
+        let snap = host.unit("a").unwrap().checkpoint();
+        assert_eq!(snap["count"], 3.0);
+    }
+
+    #[test]
+    fn rollback_without_checkpoint_fails() {
+        let mut host = host_with(&["a"]);
+        let mut rm = RecoveryManager::with_defaults();
+        assert!(rm
+            .recover(
+                SimTime::ZERO,
+                &mut host,
+                RecoveryAction::RollbackUnit("a".into())
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn restart_all_is_much_more_expensive() {
+        let mut host = host_with(&["a", "b", "c"]);
+        let mut rm = RecoveryManager::with_defaults();
+        let partial = rm
+            .recover(SimTime::ZERO, &mut host, RecoveryAction::RestartUnit("a".into()))
+            .unwrap();
+        let full = rm
+            .recover(SimTime::ZERO, &mut host, RecoveryAction::RestartAll)
+            .unwrap();
+        assert!(full.as_nanos() >= partial.as_nanos() * 10);
+        for n in ["a", "b", "c"] {
+            assert!(!host.is_running(n));
+        }
+        assert_eq!(rm.total_outage(), partial + full);
+    }
+
+    #[test]
+    fn kill_unit_is_permanent() {
+        let mut host = host_with(&["a"]);
+        let mut rm = RecoveryManager::with_defaults();
+        rm.recover(SimTime::ZERO, &mut host, RecoveryAction::KillUnit("a".into()));
+        assert_eq!(host.status("a"), Some(UnitStatus::Failed));
+        host.tick(SimTime::from_secs(100));
+        assert!(!host.is_running("a"));
+    }
+
+    #[test]
+    fn unknown_unit_returns_none() {
+        let mut host = host_with(&[]);
+        let mut rm = RecoveryManager::with_defaults();
+        assert!(rm
+            .recover(
+                SimTime::ZERO,
+                &mut host,
+                RecoveryAction::RestartUnit("ghost".into())
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn action_display() {
+        assert_eq!(
+            RecoveryAction::RestartUnit("x".into()).to_string(),
+            "restart `x`"
+        );
+        assert_eq!(RecoveryAction::RestartAll.to_string(), "restart all");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the recovery framework's invariants.
+
+use proptest::prelude::*;
+use recovery::{
+    CircuitBreaker, CommManager, CounterUnit, EscalationPolicy, RecoveryAction,
+    RecoveryManager, RestartPolicy, UnitHost, UnitMessage,
+};
+use simkit::{SimDuration, SimTime};
+
+fn msg(to: &str) -> UnitMessage {
+    UnitMessage {
+        to: to.into(),
+        topic: "t".into(),
+        value: 0.0,
+        reply_to: None,
+    }
+}
+
+proptest! {
+    /// Message conservation under the Queue policy: every sent message is
+    /// eventually delivered or still queued — never silently lost.
+    #[test]
+    fn queue_policy_conserves_messages(
+        ops in prop::collection::vec((0u8..3, 0u64..100), 1..100)
+    ) {
+        let mut host = UnitHost::new();
+        host.register(CounterUnit::new("u"));
+        let mut comm = CommManager::new(RestartPolicy::Queue);
+        let mut manager = RecoveryManager::with_defaults();
+        let mut now = SimTime::ZERO;
+        let mut sent = 0u64;
+        for (op, gap) in ops {
+            now += SimDuration::from_millis(gap);
+            match op {
+                0 => {
+                    comm.send(now, &mut host, msg("u"));
+                    sent += 1;
+                }
+                1 => {
+                    // Restart (only when running, like a real manager).
+                    if host.is_running("u") {
+                        manager.recover(now, &mut host, RecoveryAction::RestartUnit("u".into()));
+                    }
+                }
+                _ => {
+                    let back = host.tick(now);
+                    comm.flush_returned(now, &mut host, &back);
+                }
+            }
+        }
+        let stats = comm.stats();
+        prop_assert_eq!(stats.dropped, 0, "queue policy must not drop");
+        // Ledger: every one of my sends is either delivered or still
+        // queued; redeliveries consume a queued entry and produce a
+        // delivery (or re-queue), so they cancel out of the balance.
+        prop_assert_eq!(
+            stats.delivered + comm.queued_for("u") as u64,
+            sent
+        );
+    }
+
+    /// The circuit breaker: a success while closed always keeps it
+    /// closed; `failure_threshold` consecutive failures always open it;
+    /// and it never rejects while closed.
+    #[test]
+    fn breaker_state_machine(
+        threshold in 1u32..5,
+        outcomes in prop::collection::vec(any::<bool>(), 1..100)
+    ) {
+        let cooldown = SimDuration::from_millis(100);
+        let mut b = CircuitBreaker::new(threshold, cooldown);
+        let mut consecutive_failures = 0u32;
+        let mut now = SimTime::ZERO;
+        for &success in &outcomes {
+            now += SimDuration::from_millis(1); // < cooldown: stays open
+            if b.allows(now) {
+                b.record(now, success);
+                if success {
+                    consecutive_failures = 0;
+                } else {
+                    consecutive_failures += 1;
+                }
+            } else {
+                // Must only reject after enough consecutive failures.
+                prop_assert!(consecutive_failures >= threshold);
+            }
+        }
+    }
+
+    /// Escalation policy: within a window, a unit never gets more than
+    /// `max_restarts` unit-level restarts before a full restart.
+    #[test]
+    fn escalation_budget_respected(
+        max_restarts in 1u32..4,
+        failures in prop::collection::vec(0u64..5, 1..40)
+    ) {
+        let window = SimDuration::from_secs(1_000); // everything in-window
+        let mut policy = EscalationPolicy::new(max_restarts, window);
+        let mut now = SimTime::ZERO;
+        let mut partial_since_escalation = 0u32;
+        for gap in failures {
+            now += SimDuration::from_millis(gap);
+            match policy.decide(now, "u") {
+                RecoveryAction::RestartUnit(_) => {
+                    partial_since_escalation += 1;
+                    prop_assert!(partial_since_escalation <= max_restarts);
+                }
+                RecoveryAction::RestartAll => {
+                    partial_since_escalation = 0;
+                }
+                other => prop_assert!(false, "unexpected action {other:?}"),
+            }
+        }
+    }
+
+    /// Recovery outage accounting is additive and matches the log.
+    #[test]
+    fn outage_matches_log(actions in prop::collection::vec(0u8..3, 1..30)) {
+        let mut host = UnitHost::new();
+        host.register(CounterUnit::new("a"));
+        host.register(CounterUnit::new("b"));
+        let mut manager = RecoveryManager::with_defaults();
+        manager.checkpoint_all(SimTime::ZERO, &mut host);
+        let mut now = SimTime::ZERO;
+        for a in actions {
+            now += SimDuration::from_secs(10);
+            host.tick(now);
+            let action = match a {
+                0 => RecoveryAction::RestartUnit("a".into()),
+                1 => RecoveryAction::RollbackUnit("b".into()),
+                _ => RecoveryAction::RestartAll,
+            };
+            manager.recover(now, &mut host, action);
+        }
+        let from_log: SimDuration = manager
+            .log()
+            .iter()
+            .fold(SimDuration::ZERO, |acc, r| acc + r.outage);
+        prop_assert_eq!(from_log, manager.total_outage());
+    }
+}

@@ -1,0 +1,279 @@
+//! The simulation engine: virtual clock plus event queue.
+
+use crate::event::{EventPriority, ScheduledEvent, SequenceNo};
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// An event removed from the queue, with the instant it fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredEvent<E> {
+    /// The instant the event fired (now equal to [`Engine::now`]).
+    pub time: SimTime,
+    /// The event payload.
+    pub event: E,
+}
+
+/// The discrete-event simulation engine.
+///
+/// The engine owns the virtual clock and the future-event queue. Client code
+/// drives it either with an explicit [`Engine::next_event`] loop or with
+/// [`Engine::run`] / [`Engine::run_until`] and a handler closure.
+///
+/// ```
+/// use simkit::{Engine, SimDuration, SimTime};
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule_in(SimDuration::from_millis(10), "tick");
+/// let mut fired = Vec::new();
+/// engine.run(|eng, ev| {
+///     fired.push((eng.now(), ev.event));
+/// });
+/// assert_eq!(fired, vec![(SimTime::from_millis(10), "tick")]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    fired_count: u64,
+}
+
+impl From<SimDuration> for SimTime {
+    fn from(d: SimDuration) -> SimTime {
+        SimTime::ZERO + d
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            fired_count: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events fired so far.
+    pub fn fired_count(&self) -> u64 {
+        self.fired_count
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Engine::now`]): scheduling
+    /// into the past would silently reorder causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> SequenceNo {
+        self.schedule_at_prio(at, EventPriority::NORMAL, event)
+    }
+
+    /// Schedules `event` at `at` with an explicit tie-break priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before [`Engine::now`].
+    pub fn schedule_at_prio(
+        &mut self,
+        at: SimTime,
+        priority: EventPriority,
+        event: E,
+    ) -> SequenceNo {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, priority, event)
+    }
+
+    /// Schedules `event` to fire `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> SequenceNo {
+        let at = self.now + delay;
+        self.queue.push(at, EventPriority::NORMAL, event)
+    }
+
+    /// Schedules `event` `delay` from now with an explicit priority.
+    pub fn schedule_in_prio(
+        &mut self,
+        delay: SimDuration,
+        priority: EventPriority,
+        event: E,
+    ) -> SequenceNo {
+        let at = self.now + delay;
+        self.queue.push(at, priority, event)
+    }
+
+    /// Pops the next event and advances the clock to its time.
+    pub fn next_event(&mut self) -> Option<FiredEvent<E>> {
+        let ScheduledEvent { time, event, .. } = self.queue.pop()?;
+        debug_assert!(time >= self.now);
+        self.now = time;
+        self.fired_count += 1;
+        Some(FiredEvent { time, event })
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Runs until the queue drains, dispatching each event to `handler`.
+    ///
+    /// The handler receives the engine so it can schedule follow-up events.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Engine<E>, FiredEvent<E>)) {
+        while let Some(fired) = self.next_event() {
+            handler(self, fired);
+        }
+    }
+
+    /// Runs until the queue drains or the clock would pass `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` still fire. On return the
+    /// clock is at `deadline` (or at the last event if the queue drained
+    /// earlier and `advance_clock` is false).
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut handler: impl FnMut(&mut Engine<E>, FiredEvent<E>),
+    ) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let fired = self.next_event().expect("peeked event must pop");
+            handler(self, fired);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Advances the clock without firing events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event is pending before `to` (that would skip it), or if
+    /// `to` is in the past.
+    pub fn advance_to(&mut self, to: SimTime) {
+        assert!(to >= self.now, "cannot rewind clock");
+        if let Some(t) = self.queue.peek_time() {
+            assert!(
+                t >= to,
+                "advance_to({to}) would skip a pending event at {t}"
+            );
+        }
+        self.now = to;
+    }
+
+    /// Removes pending events for which `keep` returns false.
+    pub fn cancel_where(&mut self, keep: impl FnMut(&ScheduledEvent<E>) -> bool) {
+        self.queue.retain(keep);
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_millis(5), 1);
+        e.schedule_at(SimTime::from_millis(2), 2);
+        assert_eq!(e.next_event().unwrap().event, 2);
+        assert_eq!(e.now(), SimTime::from_millis(2));
+        assert_eq!(e.next_event().unwrap().event, 1);
+        assert_eq!(e.now(), SimTime::from_millis(5));
+        assert!(e.next_event().is_none());
+        assert_eq!(e.fired_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_past_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_millis(5), 1);
+        e.next_event();
+        e.schedule_at(SimTime::from_millis(1), 2);
+    }
+
+    #[test]
+    fn handler_can_schedule_follow_ups() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_in(SimDuration::from_millis(1), 0);
+        let mut seen = Vec::new();
+        e.run(|eng, fired| {
+            seen.push(fired.event);
+            if fired.event < 3 {
+                eng.schedule_in(SimDuration::from_millis(1), fired.event + 1);
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 1..=10u64 {
+            e.schedule_at(SimTime::from_millis(i), i as u32);
+        }
+        let mut seen = Vec::new();
+        e.run_until(SimTime::from_millis(4), |_, f| seen.push(f.event));
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(e.now(), SimTime::from_millis(4));
+        assert_eq!(e.pending(), 6);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_drained() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_millis(1), 1);
+        e.run_until(SimTime::from_millis(100), |_, _| {});
+        assert_eq!(e.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn cancel_where_removes_events() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..6u64 {
+            e.schedule_at(SimTime::from_millis(i + 1), i as u32);
+        }
+        e.cancel_where(|ev| ev.event % 2 == 0);
+        let mut seen = Vec::new();
+        e.run(|_, f| seen.push(f.event));
+        assert_eq!(seen, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut e: Engine<u32> = Engine::new();
+        e.advance_to(SimTime::from_millis(9));
+        assert_eq!(e.now(), SimTime::from_millis(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip a pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_millis(1), 1);
+        e.advance_to(SimTime::from_millis(2));
+    }
+}

@@ -1,0 +1,74 @@
+//! # simkit — deterministic discrete-event simulation kernel
+//!
+//! `simkit` is the execution platform substrate of the `trader-rs`
+//! reproduction of the Trader run-time awareness project (Brinksma & Hooman,
+//! DATE 2008). The paper's industrial cases run on a television
+//! system-on-chip with multiple processors, busses, several types of memory
+//! and dedicated accelerators; this crate provides the equivalent simulated
+//! platform so that overload, task migration, memory-arbitration and
+//! stress-test experiments exercise the same dynamics.
+//!
+//! The kernel is **deterministic**: given the same seed and the same inputs,
+//! every run produces the identical event order. Ties in the event queue are
+//! broken by `(time, priority, insertion sequence)`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use simkit::{Engine, SimDuration, SimTime};
+//!
+//! #[derive(Debug, Clone, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! # fn main() {
+//! let mut engine = Engine::new();
+//! engine.schedule_in(SimDuration::from_millis(5), Ev::Ping(1));
+//! engine.schedule_in(SimDuration::from_millis(1), Ev::Ping(2));
+//! let mut order = Vec::new();
+//! while let Some(fired) = engine.next_event() {
+//!     order.push(fired.event.clone());
+//! }
+//! assert_eq!(order, vec![Ev::Ping(2), Ev::Ping(1)]);
+//! assert_eq!(engine.now(), SimTime::from_millis(5));
+//! # }
+//! ```
+//!
+//! ## Modules
+//!
+//! * [`time`] — simulated time ([`SimTime`], [`SimDuration`]).
+//! * [`event`] — scheduled-event bookkeeping and deterministic ordering.
+//! * [`queue`] — the event queue.
+//! * [`engine`] — the simulation engine / virtual clock.
+//! * [`process`] — addressable processes with mailbox-style dispatch.
+//! * [`task`] — periodic real-time task specifications and response-time
+//!   analysis.
+//! * [`resource`] — shared platform resources: preemptive CPUs, a shared
+//!   bus, and a slot-based (TDM) memory arbiter.
+//! * [`trace`] — bounded trace log.
+//! * [`rng`] — seeded deterministic random numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod process;
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod task;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, FiredEvent};
+pub use event::{EventPriority, ScheduledEvent, SequenceNo};
+pub use process::{ProcessId, ProcessSet};
+pub use queue::EventQueue;
+pub use resource::bus::{Bus, BusGrant, BusRequest, BusStats};
+pub use resource::cpu::{Cpu, CpuStats, Job, JobId, JobOutcome};
+pub use resource::memory::{MemoryArbiter, MemoryRequest, SlotTable};
+pub use resource::PortId;
+pub use rng::SimRng;
+pub use task::{PeriodicTask, TaskId, TaskSet};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceCategory, TraceEntry, TraceLog};

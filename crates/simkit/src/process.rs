@@ -1,0 +1,203 @@
+//! Addressable processes with mailbox-style dispatch.
+//!
+//! A thin actor layer over the [`Engine`](crate::Engine): processes are
+//! registered under a [`ProcessId`], messages addressed to a process are
+//! scheduled like any other event, and [`ProcessSet::dispatch`] routes a
+//! fired message to its target, collecting any messages the target sends in
+//! response.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a registered process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A message addressed to a process, with a delivery delay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Destination process.
+    pub to: ProcessId,
+    /// Delay from send time to delivery.
+    pub delay: SimDuration,
+    /// Payload.
+    pub message: M,
+}
+
+/// Collects the messages a process sends while handling one delivery.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    sent: Vec<Envelope<M>>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox { sent: Vec::new() }
+    }
+
+    /// Sends `message` to `to` with zero delay.
+    pub fn send(&mut self, to: ProcessId, message: M) {
+        self.send_in(to, SimDuration::ZERO, message);
+    }
+
+    /// Sends `message` to `to`, delivered `delay` after now.
+    pub fn send_in(&mut self, to: ProcessId, delay: SimDuration, message: M) {
+        self.sent.push(Envelope { to, delay, message });
+    }
+}
+
+/// Behaviour of a process: react to a delivered message.
+pub trait Process<M> {
+    /// Handles one delivered message. Responses go into `outbox`.
+    fn handle(&mut self, now: SimTime, message: M, outbox: &mut Outbox<M>);
+}
+
+impl<M, F: FnMut(SimTime, M, &mut Outbox<M>)> Process<M> for F {
+    fn handle(&mut self, now: SimTime, message: M, outbox: &mut Outbox<M>) {
+        self(now, message, outbox)
+    }
+}
+
+/// A registry of processes keyed by [`ProcessId`].
+///
+/// ```
+/// use simkit::{ProcessSet, ProcessId, SimTime};
+/// use simkit::process::Outbox;
+///
+/// let mut set: ProcessSet<u32> = ProcessSet::new();
+/// let echo = set.register(|_now, n: u32, out: &mut Outbox<u32>| {
+///     if n > 0 {
+///         out.send(ProcessId(0), n - 1);
+///     }
+/// });
+/// let sent = set.dispatch(SimTime::ZERO, echo, 3).unwrap();
+/// assert_eq!(sent.len(), 1);
+/// assert_eq!(sent[0].message, 2);
+/// ```
+pub struct ProcessSet<M> {
+    procs: BTreeMap<ProcessId, Box<dyn Process<M>>>,
+    next_id: u32,
+}
+
+impl<M> fmt::Debug for ProcessSet<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcessSet")
+            .field("count", &self.procs.len())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl<M> Default for ProcessSet<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> ProcessSet<M> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ProcessSet {
+            procs: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Registers a process and returns its id.
+    pub fn register(&mut self, process: impl Process<M> + 'static) -> ProcessId {
+        let id = ProcessId(self.next_id);
+        self.next_id += 1;
+        self.procs.insert(id, Box::new(process));
+        id
+    }
+
+    /// Removes a process (e.g. a killed recoverable unit).
+    ///
+    /// Returns true if the process existed.
+    pub fn unregister(&mut self, id: ProcessId) -> bool {
+        self.procs.remove(&id).is_some()
+    }
+
+    /// True if `id` is registered.
+    pub fn contains(&self, id: ProcessId) -> bool {
+        self.procs.contains_key(&id)
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when no process is registered.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Delivers `message` to process `to`; returns the messages it sent.
+    ///
+    /// Returns `None` if `to` is not registered (message dropped), which is
+    /// the behaviour of a killed unit in the recovery experiments.
+    pub fn dispatch(&mut self, now: SimTime, to: ProcessId, message: M) -> Option<Vec<Envelope<M>>> {
+        let proc_ = self.procs.get_mut(&to)?;
+        let mut outbox = Outbox::new();
+        proc_.handle(now, message, &mut outbox);
+        Some(outbox.sent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_dispatch() {
+        let mut set: ProcessSet<&str> = ProcessSet::new();
+        let a = set.register(|_, _msg, out: &mut Outbox<&str>| out.send(ProcessId(99), "reply"));
+        let sent = set.dispatch(SimTime::ZERO, a, "hi").unwrap();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].to, ProcessId(99));
+        assert_eq!(sent[0].message, "reply");
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let mut set: ProcessSet<()> = ProcessSet::new();
+        let a = set.register(|_, _, _: &mut Outbox<()>| {});
+        let b = set.register(|_, _, _: &mut Outbox<()>| {});
+        assert_ne!(a, b);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn dispatch_to_missing_process_returns_none() {
+        let mut set: ProcessSet<()> = ProcessSet::new();
+        assert!(set.dispatch(SimTime::ZERO, ProcessId(5), ()).is_none());
+    }
+
+    #[test]
+    fn unregister_drops_messages() {
+        let mut set: ProcessSet<u8> = ProcessSet::new();
+        let a = set.register(|_, _, _: &mut Outbox<u8>| {});
+        assert!(set.unregister(a));
+        assert!(!set.unregister(a));
+        assert!(set.dispatch(SimTime::ZERO, a, 1).is_none());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn send_in_carries_delay() {
+        let mut set: ProcessSet<u8> = ProcessSet::new();
+        let a = set.register(|_, _, out: &mut Outbox<u8>| {
+            out.send_in(ProcessId(0), SimDuration::from_millis(4), 9);
+        });
+        let sent = set.dispatch(SimTime::ZERO, a, 0).unwrap();
+        assert_eq!(sent[0].delay, SimDuration::from_millis(4));
+    }
+}

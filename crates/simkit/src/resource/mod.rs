@@ -1,0 +1,23 @@
+//! Shared platform resources of the simulated system-on-chip.
+//!
+//! * [`cpu`] — a preemptive fixed-priority processor.
+//! * [`bus`] — a bandwidth-shared interconnect.
+//! * [`memory`] — a slot-based (TDM) memory arbiter with a run-time
+//!   reconfigurable slot table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub mod bus;
+pub mod cpu;
+pub mod memory;
+
+/// Identifier of a port on a shared resource (one per master component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(pub u32);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}

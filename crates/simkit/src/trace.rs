@@ -1,0 +1,210 @@
+//! Bounded simulation trace log.
+//!
+//! Mirrors the on-chip trace infrastructure the Trader observation work
+//! exploits (Sect. 4.1 of the paper): a cheap, bounded record of what the
+//! platform did, queryable after the fact.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Category of a trace entry, used for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceCategory {
+    /// Task/job scheduling decisions.
+    Sched,
+    /// Resource (bus/memory) arbitration.
+    Resource,
+    /// Application-level messages.
+    App,
+    /// Fault-injection activity.
+    Fault,
+    /// Recovery actions.
+    Recovery,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceCategory::Sched => "sched",
+            TraceCategory::Resource => "resource",
+            TraceCategory::App => "app",
+            TraceCategory::Fault => "fault",
+            TraceCategory::Recovery => "recovery",
+            TraceCategory::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One record in the trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When the entry was recorded.
+    pub time: SimTime,
+    /// Filter category.
+    pub category: TraceCategory,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A bounded in-memory trace.
+///
+/// When full, the oldest entries are evicted (like a hardware trace buffer).
+///
+/// ```
+/// use simkit::{TraceLog, TraceCategory, SimTime};
+/// let mut log = TraceLog::with_capacity(2);
+/// log.record(SimTime::ZERO, TraceCategory::App, "a");
+/// log.record(SimTime::ZERO, TraceCategory::App, "b");
+/// log.record(SimTime::ZERO, TraceCategory::App, "c");
+/// let msgs: Vec<&str> = log.iter().map(|e| e.message.as_str()).collect();
+/// assert_eq!(msgs, vec!["b", "c"]);
+/// assert_eq!(log.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::with_capacity(64 * 1024)
+    }
+}
+
+impl TraceLog {
+    /// Creates a trace that keeps at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceLog {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Enables or disables recording (disabled traces drop silently).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Appends an entry, evicting the oldest if at capacity.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        category: TraceCategory,
+        message: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates over retained entries of one category.
+    pub fn iter_category(
+        &self,
+        category: TraceCategory,
+    ) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries.iter().filter(move |e| e.category == category)
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears retained entries (the dropped counter is kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut log = TraceLog::with_capacity(10);
+        log.record(SimTime::from_millis(1), TraceCategory::Sched, "one");
+        log.record(SimTime::from_millis(2), TraceCategory::App, "two");
+        let all: Vec<_> = log.iter().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].message, "one");
+        assert_eq!(all[1].time, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut log = TraceLog::with_capacity(3);
+        for i in 0..5 {
+            log.record(SimTime::ZERO, TraceCategory::Other, format!("{i}"));
+        }
+        let msgs: Vec<&str> = log.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["2", "3", "4"]);
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut log = TraceLog::default();
+        log.record(SimTime::ZERO, TraceCategory::Fault, "f");
+        log.record(SimTime::ZERO, TraceCategory::Recovery, "r");
+        log.record(SimTime::ZERO, TraceCategory::Fault, "g");
+        assert_eq!(log.iter_category(TraceCategory::Fault).count(), 2);
+        assert_eq!(log.iter_category(TraceCategory::Sched).count(), 0);
+    }
+
+    #[test]
+    fn disabled_log_drops_silently() {
+        let mut log = TraceLog::with_capacity(4);
+        log.set_enabled(false);
+        log.record(SimTime::ZERO, TraceCategory::App, "x");
+        assert!(log.is_empty());
+        log.set_enabled(true);
+        log.record(SimTime::ZERO, TraceCategory::App, "y");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TraceLog::with_capacity(0);
+    }
+}

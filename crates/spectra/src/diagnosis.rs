@@ -1,0 +1,120 @@
+//! The end-to-end diagnoser: coverage snapshots + verdicts in, report out.
+
+use crate::matrix::SpectrumMatrix;
+use crate::report::DiagnosisReport;
+use crate::similarity::Coefficient;
+use observe::BlockSnapshot;
+
+/// Accumulates scenario steps and produces a [`DiagnosisReport`].
+///
+/// The intended flow mirrors the paper's experiment: after each key press,
+/// snapshot the [`observe::BlockCoverage`] of the instrumented system, attach the
+/// error detector's verdict, and finally diagnose.
+///
+/// ```
+/// use spectra::{Diagnoser, Coefficient};
+/// use observe::BlockCoverage;
+///
+/// let mut cov = BlockCoverage::new(50);
+/// let mut diag = Diagnoser::new(50);
+///
+/// // Step 1: blocks 1,2 run; no error.
+/// cov.hit(1); cov.hit(2);
+/// diag.record_step(cov.snapshot_and_reset(), false);
+/// // Step 2: blocks 2,7 run; error detected (7 is the fault).
+/// cov.hit(2); cov.hit(7);
+/// diag.record_step(cov.snapshot_and_reset(), true);
+///
+/// let report = diag.diagnose(Coefficient::Ochiai);
+/// assert_eq!(report.ranking.entries()[0].block, 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Diagnoser {
+    matrix: SpectrumMatrix,
+}
+
+impl Diagnoser {
+    /// Creates a diagnoser over `n_blocks` instrumented blocks.
+    pub fn new(n_blocks: u32) -> Self {
+        Diagnoser {
+            matrix: SpectrumMatrix::new(n_blocks),
+        }
+    }
+
+    /// Records one scenario step.
+    pub fn record_step(&mut self, snapshot: BlockSnapshot, failed: bool) {
+        self.matrix.add_snapshot(&snapshot, failed);
+    }
+
+    /// Records a step directly from hit ids (testing convenience).
+    pub fn record_hits(&mut self, hits: impl IntoIterator<Item = u32>, failed: bool) {
+        self.matrix.add_step(hits, failed);
+    }
+
+    /// The accumulated matrix.
+    pub fn matrix(&self) -> &SpectrumMatrix {
+        &self.matrix
+    }
+
+    /// Number of steps recorded.
+    pub fn steps(&self) -> usize {
+        self.matrix.steps()
+    }
+
+    /// Ranks blocks and assembles the report.
+    pub fn diagnose(&self, coefficient: Coefficient) -> DiagnosisReport {
+        let ranking = self.matrix.rank(coefficient);
+        DiagnosisReport {
+            n_blocks: self.matrix.n_blocks(),
+            steps: self.matrix.steps(),
+            failing_steps: self.matrix.failing_steps(),
+            blocks_touched: self.matrix.blocks_touched(),
+            ranking,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observe::BlockCoverage;
+
+    #[test]
+    fn full_flow_localizes_fault() {
+        let mut cov = BlockCoverage::new(1000);
+        let mut diag = Diagnoser::new(1000);
+        // Fault in block 500: any step touching it fails.
+        for step in 0..20u32 {
+            for b in (step * 37..step * 37 + 30).map(|b| b % 1000) {
+                cov.hit(b);
+            }
+            let touches_fault = {
+                let lo = step * 37 % 1000;
+                (lo..lo + 30).contains(&500)
+            };
+            if touches_fault {
+                cov.hit(500);
+            }
+            diag.record_step(cov.snapshot_and_reset(), touches_fault);
+        }
+        assert_eq!(diag.steps(), 20);
+        let report = diag.diagnose(Coefficient::Ochiai);
+        assert!(report.failing_steps > 0);
+        let rank = report.ranking.rank_of(500).unwrap();
+        // The fault must be in the tied-top group.
+        assert_eq!(report.ranking.best_case_rank_of(500), Some(1));
+        assert!(rank <= 30.0, "rank {rank} too deep");
+    }
+
+    #[test]
+    fn record_hits_convenience() {
+        let mut diag = Diagnoser::new(10);
+        diag.record_hits([1, 2], false);
+        diag.record_hits([2, 3], true);
+        let report = diag.diagnose(Coefficient::Jaccard);
+        assert_eq!(report.steps, 2);
+        assert_eq!(report.failing_steps, 1);
+        assert_eq!(report.blocks_touched, 3);
+        assert_eq!(report.ranking.entries()[0].block, 3);
+    }
+}

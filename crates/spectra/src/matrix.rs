@@ -1,0 +1,208 @@
+//! The spectrum matrix: block-hit rows per scenario step plus the error
+//! vector.
+
+use crate::ranking::Ranking;
+use crate::similarity::{Coefficient, Counts};
+use observe::BlockSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Block-hit spectra for a whole scenario.
+///
+/// Each *step* (e.g. the interval between two key presses) contributes one
+/// bitset row of hit blocks and one pass/fail verdict. Column statistics
+/// produce the per-block [`Counts`] that similarity coefficients score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectrumMatrix {
+    n_blocks: u32,
+    words_per_row: usize,
+    rows: Vec<Vec<u64>>,
+    verdicts: Vec<bool>, // true = step failed
+}
+
+impl SpectrumMatrix {
+    /// Creates an empty matrix over `n_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_blocks` is zero.
+    pub fn new(n_blocks: u32) -> Self {
+        assert!(n_blocks > 0, "need at least one block");
+        SpectrumMatrix {
+            n_blocks,
+            words_per_row: n_blocks.div_ceil(64) as usize,
+            rows: Vec::new(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Number of instrumented blocks (columns).
+    pub fn n_blocks(&self) -> u32 {
+        self.n_blocks
+    }
+
+    /// Number of scenario steps recorded (rows).
+    pub fn steps(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of failing steps.
+    pub fn failing_steps(&self) -> usize {
+        self.verdicts.iter().filter(|v| **v).count()
+    }
+
+    /// The error vector: one pass/fail flag per step.
+    pub fn error_vector(&self) -> &[bool] {
+        &self.verdicts
+    }
+
+    /// Adds a step from an iterator of hit block ids.
+    ///
+    /// `failed` is the error detector's verdict for the step.
+    pub fn add_step(&mut self, hits: impl IntoIterator<Item = u32>, failed: bool) {
+        let mut row = vec![0u64; self.words_per_row];
+        for b in hits {
+            if b < self.n_blocks {
+                row[(b / 64) as usize] |= 1u64 << (b % 64);
+            }
+        }
+        self.rows.push(row);
+        self.verdicts.push(failed);
+    }
+
+    /// Adds a step from an [`observe::BlockSnapshot`] (zero-copy of the
+    /// snapshot's words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot covers a different number of blocks.
+    pub fn add_snapshot(&mut self, snapshot: &BlockSnapshot, failed: bool) {
+        assert_eq!(
+            snapshot.n_blocks(),
+            self.n_blocks,
+            "snapshot block count mismatch"
+        );
+        self.rows.push(snapshot.words().to_vec());
+        self.verdicts.push(failed);
+    }
+
+    /// True if `block` was hit in `step`.
+    pub fn is_hit(&self, step: usize, block: u32) -> bool {
+        if step >= self.rows.len() || block >= self.n_blocks {
+            return false;
+        }
+        self.rows[step][(block / 64) as usize] & (1u64 << (block % 64)) != 0
+    }
+
+    /// Number of distinct blocks hit in at least one step.
+    pub fn blocks_touched(&self) -> u32 {
+        let mut acc = vec![0u64; self.words_per_row];
+        for row in &self.rows {
+            for (a, w) in acc.iter_mut().zip(row) {
+                *a |= w;
+            }
+        }
+        acc.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Contingency counts for one block.
+    pub fn counts(&self, block: u32) -> Counts {
+        let mut c = Counts::default();
+        let (w, b) = ((block / 64) as usize, block % 64);
+        for (row, &failed) in self.rows.iter().zip(&self.verdicts) {
+            let hit = row[w] & (1u64 << b) != 0;
+            match (hit, failed) {
+                (true, true) => c.a11 += 1,
+                (true, false) => c.a10 += 1,
+                (false, true) => c.a01 += 1,
+                (false, false) => c.a00 += 1,
+            }
+        }
+        c
+    }
+
+    /// Scores every block with `coefficient` and returns the ranking.
+    ///
+    /// Blocks never hit in any step score 0 and are kept (they dilute the
+    /// ranking exactly as in the real experiment).
+    pub fn rank(&self, coefficient: Coefficient) -> Ranking {
+        let mut scores: Vec<f64> = Vec::with_capacity(self.n_blocks as usize);
+        // Column-wise walk, word at a time, for cache efficiency.
+        for block in 0..self.n_blocks {
+            scores.push(coefficient.score(self.counts(block)));
+        }
+        Ranking::from_scores(scores, coefficient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observe::BlockCoverage;
+
+    #[test]
+    fn add_and_query_steps() {
+        let mut m = SpectrumMatrix::new(100);
+        m.add_step([1, 2, 3].iter().copied(), false);
+        m.add_step([3, 4].iter().copied(), true);
+        assert_eq!(m.steps(), 2);
+        assert_eq!(m.failing_steps(), 1);
+        assert!(m.is_hit(0, 2));
+        assert!(!m.is_hit(1, 2));
+        assert!(m.is_hit(1, 4));
+        assert!(!m.is_hit(5, 1)); // out-of-range step
+        assert_eq!(m.blocks_touched(), 4);
+        assert_eq!(m.error_vector(), &[false, true]);
+    }
+
+    #[test]
+    fn counts_match_definition() {
+        let mut m = SpectrumMatrix::new(8);
+        m.add_step([0].iter().copied(), true); // block0: hit/fail
+        m.add_step([0, 1].iter().copied(), false); // block0: hit/pass
+        m.add_step([1].iter().copied(), true); // block0: miss/fail
+        m.add_step([].iter().copied(), false); // block0: miss/pass
+        let c = m.counts(0);
+        assert_eq!((c.a11, c.a10, c.a01, c.a00), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn snapshot_integration() {
+        let mut cov = BlockCoverage::new(64);
+        cov.hit(7);
+        let snap = cov.snapshot_and_reset();
+        let mut m = SpectrumMatrix::new(64);
+        m.add_snapshot(&snap, true);
+        assert!(m.is_hit(0, 7));
+        assert_eq!(m.counts(7).a11, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn snapshot_size_mismatch_panics() {
+        let mut cov = BlockCoverage::new(32);
+        cov.hit(1);
+        let snap = cov.snapshot_and_reset();
+        let mut m = SpectrumMatrix::new(64);
+        m.add_snapshot(&snap, false);
+    }
+
+    #[test]
+    fn faulty_block_ranks_first() {
+        // Fault in block 9: executing it always fails the step.
+        let mut m = SpectrumMatrix::new(20);
+        m.add_step([1, 2, 9].iter().copied(), true);
+        m.add_step([1, 2, 3].iter().copied(), false);
+        m.add_step([2, 9].iter().copied(), true);
+        m.add_step([4, 5].iter().copied(), false);
+        let r = m.rank(Coefficient::Ochiai);
+        assert_eq!(r.entries()[0].block, 9);
+        assert_eq!(r.rank_of(9), Some(1.0));
+    }
+
+    #[test]
+    fn out_of_range_hits_ignored() {
+        let mut m = SpectrumMatrix::new(10);
+        m.add_step([99].iter().copied(), true);
+        assert_eq!(m.blocks_touched(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of spectrum-matrix and ranking invariants.
+
+use proptest::prelude::*;
+use spectra::{Coefficient, Ranking, SpectrumMatrix};
+
+proptest! {
+    /// Contingency counts always sum to the number of steps, for every
+    /// block.
+    #[test]
+    fn counts_partition_steps(
+        steps in prop::collection::vec(
+            (prop::collection::vec(0u32..64, 0..20), any::<bool>()),
+            1..30
+        )
+    ) {
+        let mut m = SpectrumMatrix::new(64);
+        for (hits, failed) in &steps {
+            m.add_step(hits.iter().copied(), *failed);
+        }
+        for block in 0..64u32 {
+            let c = m.counts(block);
+            prop_assert_eq!(
+                (c.a11 + c.a10 + c.a01 + c.a00) as usize,
+                steps.len()
+            );
+            prop_assert_eq!(c.failures() as usize,
+                steps.iter().filter(|(_, f)| *f).count());
+        }
+    }
+
+    /// Every coefficient yields finite scores; Ochiai/Tarantula/Jaccard
+    /// stay within [0, 1].
+    #[test]
+    fn coefficient_ranges(
+        a11 in 0u32..50, a10 in 0u32..50, a01 in 0u32..50, a00 in 0u32..50
+    ) {
+        let c = spectra::Counts { a11, a10, a01, a00 };
+        for coef in Coefficient::ALL {
+            let s = coef.score(c);
+            prop_assert!(s.is_finite(), "{coef}: {s}");
+        }
+        for coef in [Coefficient::Ochiai, Coefficient::Tarantula, Coefficient::Jaccard] {
+            let s = coef.score(c);
+            prop_assert!((0.0..=1.0).contains(&s), "{coef}: {s}");
+        }
+    }
+
+    /// A ranking is always a permutation of all blocks, sorted by
+    /// nonincreasing score, and mid-tie ranks stay within [1, n].
+    #[test]
+    fn ranking_is_sorted_permutation(scores in prop::collection::vec(0.0f64..1.0, 1..100)) {
+        let n = scores.len();
+        let r = Ranking::from_scores(scores, Coefficient::Ochiai);
+        prop_assert_eq!(r.len(), n);
+        let mut blocks: Vec<u32> = r.entries().iter().map(|e| e.block).collect();
+        blocks.sort_unstable();
+        prop_assert_eq!(blocks, (0..n as u32).collect::<Vec<_>>());
+        for w in r.entries().windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for b in 0..n as u32 {
+            let rank = r.rank_of(b).unwrap();
+            prop_assert!(rank >= 1.0 && rank <= n as f64);
+            let wasted = r.wasted_effort(b).unwrap();
+            prop_assert!((0.0..=1.0).contains(&wasted));
+        }
+    }
+
+    /// A block hit in *all and only* failing steps never ranks below a
+    /// block with any imperfection, under Ochiai.
+    #[test]
+    fn perfect_block_wins(
+        verdicts in prop::collection::vec(any::<bool>(), 2..30),
+        noise in prop::collection::vec(any::<bool>(), 2..30)
+    ) {
+        prop_assume!(verdicts.iter().any(|v| *v));
+        prop_assume!(verdicts.iter().any(|v| !*v));
+        let mut m = SpectrumMatrix::new(2);
+        for (i, failed) in verdicts.iter().enumerate() {
+            let mut hits = Vec::new();
+            if *failed {
+                hits.push(0); // block 0: perfect correlation
+            }
+            if noise.get(i).copied().unwrap_or(false) {
+                hits.push(1); // block 1: random
+            }
+            m.add_step(hits.into_iter(), *failed);
+        }
+        let r = m.rank(Coefficient::Ochiai);
+        let s0 = r.entries().iter().find(|e| e.block == 0).unwrap().score;
+        let s1 = r.entries().iter().find(|e| e.block == 1).unwrap().score;
+        prop_assert!(s0 >= s1, "perfect {s0} vs noisy {s1}");
+        prop_assert!((s0 - 1.0).abs() < 1e-12);
+    }
+}

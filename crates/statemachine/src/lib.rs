@@ -1,0 +1,77 @@
+//! # statemachine — executable timed hierarchical state machines
+//!
+//! The modeling substrate of the `trader-rs` reproduction of the Trader
+//! project (Brinksma & Hooman, DATE 2008). The paper's run-time awareness
+//! approach executes a *model of desired system behaviour* next to the
+//! running product; industrial practice there used Stateflow models with
+//! generated C code. This crate provides the equivalent artifact natively:
+//! hierarchical state machines with events, guards, actions, variables, and
+//! **timed** (`after(t)`) transitions, executed with run-to-completion
+//! semantics on simulated time.
+//!
+//! The paper explicitly chooses *executable timed state machines* over timed
+//! temporal logic "to promote industrial acceptance and validation"
+//! (Sect. 4.3); the model you build here is the exact artifact the
+//! [`Executor`] runs at run time.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use statemachine::{MachineBuilder, Event, Executor, Value};
+//!
+//! let machine = MachineBuilder::new("toggle")
+//!     .state("off")
+//!     .state("on")
+//!     .initial("off")
+//!     .output("light")
+//!     .on("off", "press", "on", |t| t.output_const("light", Value::from(1)))
+//!     .on("on", "press", "off", |t| t.output_const("light", Value::from(0)))
+//!     .build()
+//!     .expect("valid machine");
+//!
+//! let mut exec = Executor::new(&machine);
+//! exec.start();
+//! exec.step(&Event::plain("press"));
+//! assert_eq!(exec.active_leaf_name(), "on");
+//! assert_eq!(exec.last_output("light"), Some(&Value::from(1)));
+//! ```
+//!
+//! ## Modules
+//!
+//! * [`value`] — dynamic values for variables, payloads and outputs.
+//! * [`event`] — named events with optional payloads.
+//! * [`expr`] — guard/action expression trees, interpreted at run time.
+//! * [`state`] / [`transition`] — the static structure.
+//! * [`machine`] — a validated machine definition.
+//! * [`builder`] — ergonomic construction.
+//! * [`executor`] — run-to-completion execution on simulated time.
+//! * [`validate`] — model-quality checks (unreachable states,
+//!   nondeterminism, undeclared variables) — the modeling pitfalls the
+//!   paper reports (feature-interaction mistakes) surface here.
+//! * [`script`] — test scripts against a model, per the paper's
+//!   model-quality workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod event;
+pub mod executor;
+pub mod expr;
+pub mod machine;
+pub mod script;
+pub mod state;
+pub mod transition;
+pub mod validate;
+pub mod value;
+
+pub use builder::{BuildError, MachineBuilder, TransitionBuilder};
+pub use event::Event;
+pub use executor::{Executor, OutputRecord};
+pub use expr::{EvalError, Expr};
+pub use machine::Machine;
+pub use script::{ScriptOutcome, ScriptStep, TestScript};
+pub use state::{StateId, StateKind};
+pub use transition::{Action, Transition, Trigger};
+pub use validate::{ModelIssue, Severity};
+pub use value::Value;

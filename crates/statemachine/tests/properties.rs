@@ -1,0 +1,133 @@
+//! Property-based tests of expression evaluation and executor invariants.
+
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+use statemachine::{Event, Executor, Expr, MachineBuilder, Value};
+
+/// A strategy for small well-typed numeric expressions over vars a, b.
+fn arb_num_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(Expr::lit),
+        Just(Expr::var("a")),
+        Just(Expr::var("b")),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.add(y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.sub(y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.mul(y)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(x, lo, hi)| {
+                // Normalize bounds so clamp is well-formed semantically.
+                Expr::Min(Box::new(lo.clone()), Box::new(hi.clone()))
+                    .le(Expr::Max(Box::new(lo.clone()), Box::new(hi.clone())))
+                    .if_else(x.clone().clamp(lo, hi), x)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Well-typed numeric expressions never fail to evaluate and always
+    /// produce a numeric value.
+    #[test]
+    fn numeric_exprs_total(e in arb_num_expr(), a in -50i64..50, b in -50i64..50) {
+        let mut vars = std::collections::BTreeMap::new();
+        vars.insert("a".to_owned(), Value::Int(a));
+        vars.insert("b".to_owned(), Value::Int(b));
+        let v = e.eval(&vars, None);
+        prop_assert!(v.is_ok(), "{e:?} failed: {v:?}");
+        prop_assert!(v.unwrap().as_f64().is_some());
+    }
+
+    /// clamp always lands inside [min(lo,hi), max(lo,hi)] when bounds are
+    /// ordered.
+    #[test]
+    fn clamp_bounds(x in -1000i64..1000, lo in -100i64..100, hi in -100i64..100) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let e = Expr::lit(x).clamp(Expr::lit(lo), Expr::lit(hi));
+        let v = e.eval(&Default::default(), None).unwrap().as_i64().unwrap();
+        prop_assert!(v >= lo && v <= hi);
+        if x >= lo && x <= hi {
+            prop_assert_eq!(v, x);
+        }
+    }
+
+    /// referenced_vars finds exactly the variables eval needs: evaluating
+    /// with those (and only those) bound always succeeds.
+    #[test]
+    fn referenced_vars_sufficient(e in arb_num_expr()) {
+        let mut names = Vec::new();
+        e.referenced_vars(&mut names);
+        let mut vars = std::collections::BTreeMap::new();
+        for n in names {
+            vars.insert(n, Value::Int(1));
+        }
+        prop_assert!(e.eval(&vars, None).is_ok());
+    }
+
+    /// The executor never panics and keeps a consistent active chain on
+    /// arbitrary event/advance sequences against a nontrivial machine.
+    #[test]
+    fn executor_robust_under_random_stimuli(
+        steps in prop::collection::vec((0u8..6, 1u64..200), 1..100)
+    ) {
+        let machine = MachineBuilder::new("random")
+            .state("a")
+            .state("b")
+            .child_state("b", "b1")
+            .child_state("b", "b2")
+            .child_initial("b", "b1")
+            .state("c")
+            .initial("a")
+            .var("n", 0)
+            .output("o")
+            .on("a", "x", "b", |t| t.assign("n", Expr::var("n").add(Expr::lit(1))))
+            .on("b1", "y", "b2", |t| t.output("o", Expr::var("n")))
+            .on("b2", "y", "b1", |t| t)
+            .on("b", "z", "c", |t| t)
+            .after("c", SimDuration::from_millis(50), "a", |t| t)
+            .on("c", "x", "a", |t| t)
+            .build()
+            .unwrap();
+        let mut exec = Executor::new(&machine);
+        exec.start();
+        for (ev, advance) in steps {
+            let target = exec.now() + SimDuration::from_millis(advance);
+            exec.advance_to(target);
+            let name = ["x", "y", "z", "x", "y", "z"][ev as usize];
+            exec.step(&Event::plain(name));
+            // Invariants: exactly one leaf; chain is ancestor-consistent.
+            let chain = exec.active_chain();
+            prop_assert!(!chain.is_empty());
+            prop_assert!(exec.errors().is_empty(), "{:?}", exec.errors());
+            // Model time is monotone.
+            prop_assert!(exec.now() >= target);
+        }
+    }
+
+    /// Timer semantics: an `after(d)` transition fires at exactly
+    /// entry + d regardless of how the advance is chopped up.
+    #[test]
+    fn timer_fires_at_exact_instant(chunks in prop::collection::vec(1u64..40, 1..30)) {
+        let machine = MachineBuilder::new("t")
+            .state("w")
+            .state("f")
+            .initial("w")
+            .output("fired")
+            .after("w", SimDuration::from_millis(100), "f", |t| t.output_const("fired", 1))
+            .build()
+            .unwrap();
+        let mut exec = Executor::new(&machine);
+        exec.start();
+        let mut now = SimTime::ZERO;
+        for c in chunks {
+            now += SimDuration::from_millis(c);
+            exec.advance_to(now);
+        }
+        let end = exec.now().max(SimTime::from_millis(500));
+        exec.advance_to(end);
+        let outs = exec.outputs();
+        prop_assert_eq!(outs.len(), 1);
+        prop_assert_eq!(outs[0].time, SimTime::from_millis(100));
+    }
+}

@@ -1,0 +1,180 @@
+//! Channel tuning.
+
+use super::FeatureCtx;
+use crate::blocks::{BlockMap, FirmwareOp};
+use crate::faults::TvFault;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Highest channel number.
+pub const MAX_CHANNEL: i64 = 99;
+
+/// The tuner: current channel plus child-lock filtering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelTuner {
+    current: i64,
+    previous: i64,
+    locked: BTreeSet<i64>,
+}
+
+impl Default for ChannelTuner {
+    fn default() -> Self {
+        ChannelTuner {
+            current: 1,
+            previous: 1,
+            locked: BTreeSet::new(),
+        }
+    }
+}
+
+impl ChannelTuner {
+    /// Creates the tuner on channel 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tuned channel (1–99).
+    pub fn current(&self) -> i64 {
+        self.current
+    }
+
+    /// The previously tuned channel.
+    pub fn previous(&self) -> i64 {
+        self.previous
+    }
+
+    /// Marks a channel as child-locked.
+    pub fn lock_channel(&mut self, ch: i64) {
+        self.locked.insert(ch);
+    }
+
+    /// Unmarks a child-locked channel.
+    pub fn unlock_channel(&mut self, ch: i64) {
+        self.locked.remove(&ch);
+    }
+
+    /// True if `ch` is child-locked.
+    pub fn is_locked(&self, ch: i64) -> bool {
+        self.locked.contains(&ch)
+    }
+
+    fn retune(&mut self, ctx: &mut FeatureCtx<'_>, target: i64) {
+        let target = target.clamp(1, MAX_CHANNEL);
+        if self.locked.contains(&target) {
+            // Child lock: the tune request is rejected (paper feature set).
+            ctx.hit(BlockMap::CHILDLOCK + 1);
+        } else {
+            ctx.hit(BlockMap::CHANNEL + 1);
+            self.previous = self.current;
+            self.current = target;
+        }
+        ctx.exec(FirmwareOp::Tune, self.current as u32);
+        ctx.output("channel", self.current);
+    }
+
+    /// Handles channel-up.
+    pub fn channel_up(&mut self, ctx: &mut FeatureCtx<'_>) {
+        ctx.hit(BlockMap::CHANNEL);
+        let step = if ctx.faults.is_active(TvFault::ChannelSkip) {
+            ctx.hit(BlockMap::CHANNEL + 2);
+            2 // fault: off-by-one in the tuner table walk
+        } else {
+            1
+        };
+        let target = (self.current - 1 + step).rem_euclid(MAX_CHANNEL) + 1;
+        self.retune(ctx, target);
+    }
+
+    /// Handles channel-down.
+    pub fn channel_down(&mut self, ctx: &mut FeatureCtx<'_>) {
+        ctx.hit(BlockMap::CHANNEL + 3);
+        let target = (self.current - 2).rem_euclid(MAX_CHANNEL) + 1;
+        self.retune(ctx, target);
+    }
+
+    /// Handles a digit key used for direct tuning.
+    pub fn digit(&mut self, ctx: &mut FeatureCtx<'_>, d: u8) {
+        ctx.hit(BlockMap::CHANNEL + 4);
+        let target = if d == 0 { 10 } else { d as i64 };
+        self.retune(ctx, target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::SyntheticCodeBank;
+    use crate::faults::FaultSet;
+    use observe::BlockCoverage;
+    use simkit::SimTime;
+
+    fn run(
+        t: &mut ChannelTuner,
+        faults: &FaultSet,
+        f: impl FnOnce(&mut ChannelTuner, &mut FeatureCtx<'_>),
+    ) -> Vec<observe::Observation> {
+        let mut cov = BlockCoverage::new(crate::blocks::N_BLOCKS);
+        let bank = SyntheticCodeBank::default();
+        let mut obs = Vec::new();
+        let mut ctx = FeatureCtx {
+            now: SimTime::ZERO,
+            cov: &mut cov,
+            bank: &bank,
+            faults,
+            obs: &mut obs,
+        };
+        f(t, &mut ctx);
+        obs
+    }
+
+    #[test]
+    fn up_down_wraps() {
+        let faults = FaultSet::none();
+        let mut t = ChannelTuner::new();
+        run(&mut t, &faults, |t, c| t.channel_up(c));
+        assert_eq!(t.current(), 2);
+        run(&mut t, &faults, |t, c| t.channel_down(c));
+        run(&mut t, &faults, |t, c| t.channel_down(c));
+        assert_eq!(t.current(), MAX_CHANNEL);
+        run(&mut t, &faults, |t, c| t.channel_up(c));
+        assert_eq!(t.current(), 1);
+        assert_eq!(t.previous(), MAX_CHANNEL);
+    }
+
+    #[test]
+    fn digit_tunes_directly() {
+        let faults = FaultSet::none();
+        let mut t = ChannelTuner::new();
+        let obs = run(&mut t, &faults, |t, c| t.digit(c, 7));
+        assert_eq!(t.current(), 7);
+        let (name, v) = obs[0].as_output().unwrap();
+        assert_eq!(name, "channel");
+        assert_eq!(v.as_num(), Some(7.0));
+        run(&mut t, &faults, |t, c| t.digit(c, 0));
+        assert_eq!(t.current(), 10);
+    }
+
+    #[test]
+    fn channel_skip_fault() {
+        let mut faults = FaultSet::none();
+        faults.inject(TvFault::ChannelSkip);
+        let mut t = ChannelTuner::new();
+        run(&mut t, &faults, |t, c| t.channel_up(c));
+        assert_eq!(t.current(), 3); // skipped channel 2
+    }
+
+    #[test]
+    fn child_lock_blocks_tuning() {
+        let faults = FaultSet::none();
+        let mut t = ChannelTuner::new();
+        t.lock_channel(5);
+        assert!(t.is_locked(5));
+        let obs = run(&mut t, &faults, |t, c| t.digit(c, 5));
+        assert_eq!(t.current(), 1, "locked channel must be rejected");
+        // The channel output still reports the (unchanged) channel.
+        assert_eq!(obs[0].as_output().unwrap().1.as_num(), Some(1.0));
+        t.unlock_channel(5);
+        run(&mut t, &faults, |t, c| t.digit(c, 5));
+        assert_eq!(t.current(), 5);
+    }
+}

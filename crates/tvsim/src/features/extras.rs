@@ -1,0 +1,216 @@
+//! Sleep timer and motorized swivel.
+//!
+//! The swivel matters for the user-perception study (paper Sect. 4.6):
+//! users rank both image quality and the swivel as important, tolerate bad
+//! image quality (attributed externally), but are irritated when the
+//! swivel fails (attributed to the product).
+
+use super::FeatureCtx;
+use crate::blocks::{BlockMap, FirmwareOp};
+use crate::faults::TvFault;
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimTime};
+
+/// Sleep-timer step per key press.
+pub const SLEEP_STEP_MIN: u64 = 15;
+/// Maximum sleep-timer setting.
+pub const SLEEP_MAX_MIN: u64 = 120;
+
+/// The sleep timer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SleepTimer {
+    /// Minutes configured (0 = off).
+    minutes: u64,
+    /// When the timer fires, if armed.
+    fires_at: Option<SimTime>,
+}
+
+impl SleepTimer {
+    /// Creates a disarmed timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configured minutes (0 when off).
+    pub fn minutes(&self) -> u64 {
+        self.minutes
+    }
+
+    /// True while armed.
+    pub fn is_armed(&self) -> bool {
+        self.fires_at.is_some()
+    }
+
+    /// When the timer will fire.
+    pub fn fires_at(&self) -> Option<SimTime> {
+        self.fires_at
+    }
+
+    /// Handles the sleep key: extends in 15-minute steps, wrapping to off
+    /// after the maximum.
+    pub fn key(&mut self, ctx: &mut FeatureCtx<'_>) {
+        ctx.hit(BlockMap::SLEEP);
+        self.minutes += SLEEP_STEP_MIN;
+        if self.minutes > SLEEP_MAX_MIN {
+            ctx.hit(BlockMap::SLEEP + 1);
+            self.minutes = 0;
+            self.fires_at = None;
+        } else {
+            ctx.hit(BlockMap::SLEEP + 2);
+            self.fires_at = Some(ctx.now + SimDuration::from_secs(self.minutes * 60));
+        }
+        ctx.exec(FirmwareOp::Osd, 20 + self.minutes as u32);
+        ctx.output("sleep.minutes", self.minutes as i64);
+    }
+
+    /// Checks expiry; returns true exactly once when the timer fires
+    /// (the TV must then power down).
+    ///
+    /// Under [`TvFault::SleepTimerLost`] the timer never fires.
+    pub fn tick(&mut self, now: SimTime, faults: &crate::faults::FaultSet) -> bool {
+        let Some(at) = self.fires_at else {
+            return false;
+        };
+        if now < at {
+            return false;
+        }
+        if faults.is_active(TvFault::SleepTimerLost) {
+            // Fault: the expiry interrupt is lost; timer stays pending.
+            return false;
+        }
+        self.fires_at = None;
+        self.minutes = 0;
+        true
+    }
+
+    /// Disarms (power-off).
+    pub fn reset(&mut self) {
+        self.minutes = 0;
+        self.fires_at = None;
+    }
+}
+
+/// Swivel step per key press, degrees.
+pub const SWIVEL_STEP: i64 = 15;
+/// Swivel range limit, degrees.
+pub const SWIVEL_MAX: i64 = 45;
+
+/// The motorized swivel.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Swivel {
+    angle: i64,
+}
+
+impl Swivel {
+    /// Creates a centered swivel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current angle in degrees (negative = left).
+    pub fn angle(&self) -> i64 {
+        self.angle
+    }
+
+    /// Handles a swivel key; `left` selects direction.
+    pub fn key(&mut self, ctx: &mut FeatureCtx<'_>, left: bool) {
+        ctx.hit(BlockMap::SWIVEL);
+        if ctx.faults.is_active(TvFault::SwivelStuck) {
+            // Fault: the motor driver ignores the command.
+            ctx.hit(BlockMap::SWIVEL + 1);
+        } else {
+            ctx.hit(BlockMap::SWIVEL + 2);
+            let delta = if left { -SWIVEL_STEP } else { SWIVEL_STEP };
+            self.angle = (self.angle + delta).clamp(-SWIVEL_MAX, SWIVEL_MAX);
+        }
+        ctx.exec(FirmwareOp::Motor, (self.angle + SWIVEL_MAX) as u32);
+        ctx.output("swivel.angle", self.angle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::SyntheticCodeBank;
+    use crate::faults::FaultSet;
+    use observe::BlockCoverage;
+
+    fn with_ctx<R>(
+        now: SimTime,
+        faults: &FaultSet,
+        f: impl FnOnce(&mut FeatureCtx<'_>) -> R,
+    ) -> R {
+        let mut cov = BlockCoverage::new(crate::blocks::N_BLOCKS);
+        let bank = SyntheticCodeBank::default();
+        let mut obs = Vec::new();
+        let mut ctx = FeatureCtx {
+            now,
+            cov: &mut cov,
+            bank: &bank,
+            faults,
+            obs: &mut obs,
+        };
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn sleep_extends_then_wraps_off() {
+        let faults = FaultSet::none();
+        let mut s = SleepTimer::new();
+        for expect in [15, 30, 45, 60, 75, 90, 105, 120] {
+            with_ctx(SimTime::ZERO, &faults, |c| s.key(c));
+            assert_eq!(s.minutes(), expect);
+            assert!(s.is_armed());
+        }
+        with_ctx(SimTime::ZERO, &faults, |c| s.key(c));
+        assert_eq!(s.minutes(), 0);
+        assert!(!s.is_armed());
+    }
+
+    #[test]
+    fn sleep_fires_once() {
+        let faults = FaultSet::none();
+        let mut s = SleepTimer::new();
+        with_ctx(SimTime::ZERO, &faults, |c| s.key(c)); // 15 min
+        let fire_time = SimTime::from_secs(15 * 60);
+        assert!(!s.tick(fire_time - SimDuration::from_secs(1), &faults));
+        assert!(s.tick(fire_time, &faults));
+        assert!(!s.tick(fire_time + SimDuration::from_secs(1), &faults));
+        assert!(!s.is_armed());
+    }
+
+    #[test]
+    fn sleep_lost_fault_never_fires() {
+        let mut faults = FaultSet::none();
+        faults.inject(TvFault::SleepTimerLost);
+        let mut s = SleepTimer::new();
+        with_ctx(SimTime::ZERO, &faults, |c| s.key(c));
+        assert!(!s.tick(SimTime::from_secs(10_000), &faults));
+        assert!(s.is_armed(), "timer remains pending forever");
+    }
+
+    #[test]
+    fn swivel_moves_and_clamps() {
+        let faults = FaultSet::none();
+        let mut sw = Swivel::new();
+        with_ctx(SimTime::ZERO, &faults, |c| sw.key(c, false));
+        assert_eq!(sw.angle(), 15);
+        for _ in 0..10 {
+            with_ctx(SimTime::ZERO, &faults, |c| sw.key(c, false));
+        }
+        assert_eq!(sw.angle(), SWIVEL_MAX);
+        for _ in 0..20 {
+            with_ctx(SimTime::ZERO, &faults, |c| sw.key(c, true));
+        }
+        assert_eq!(sw.angle(), -SWIVEL_MAX);
+    }
+
+    #[test]
+    fn swivel_stuck_fault() {
+        let mut faults = FaultSet::none();
+        faults.inject(TvFault::SwivelStuck);
+        let mut sw = Swivel::new();
+        with_ctx(SimTime::ZERO, &faults, |c| sw.key(c, false));
+        assert_eq!(sw.angle(), 0, "motor must not move under the fault");
+    }
+}

@@ -1,0 +1,71 @@
+//! The TV's feature logic, one module per feature cluster.
+//!
+//! Every feature method is *instrumented*: it records the basic blocks it
+//! executes into the system's [`observe::BlockCoverage`] through the
+//! [`FeatureCtx`], the way AspectKoala instrumented the real Koala
+//! components (paper Sect. 4.1). Feature interactions — "relations between
+//! dual screen, teletext and various types of on-screen displays that
+//! remove or suppress each other" (Sect. 4.2) — live in
+//! [`screen::ScreenManager`].
+
+pub mod channel;
+pub mod extras;
+pub mod screen;
+pub mod teletext;
+pub mod volume;
+
+use crate::blocks::{FirmwareOp, SyntheticCodeBank};
+use crate::faults::FaultSet;
+use observe::{BlockCoverage, ObsValue, Observation, ObservationKind};
+use simkit::SimTime;
+
+/// Shared execution context passed to feature handlers.
+#[derive(Debug)]
+pub struct FeatureCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Coverage recorder (block instrumentation target).
+    pub cov: &'a mut BlockCoverage,
+    /// The synthetic firmware bank.
+    pub bank: &'a SyntheticCodeBank,
+    /// Currently active faults.
+    pub faults: &'a FaultSet,
+    /// Observation sink.
+    pub obs: &'a mut Vec<Observation>,
+}
+
+impl FeatureCtx<'_> {
+    /// Records execution of a hand-written block.
+    pub fn hit(&mut self, block: u32) {
+        self.cov.hit(block);
+    }
+
+    /// Executes a synthetic firmware operation.
+    pub fn exec(&mut self, op: FirmwareOp, variant: u32) {
+        self.bank.execute(self.cov, op, variant);
+    }
+
+    /// Emits an output observation.
+    pub fn output(&mut self, name: &str, value: impl Into<ObsValue>) {
+        self.obs.push(Observation::new(
+            self.now,
+            "tv",
+            ObservationKind::Output {
+                name: name.to_owned(),
+                value: value.into(),
+            },
+        ));
+    }
+
+    /// Emits a component-mode observation.
+    pub fn mode(&mut self, component: &str, mode: &str) {
+        self.obs.push(Observation::new(
+            self.now,
+            component,
+            ObservationKind::Mode {
+                component: component.to_owned(),
+                mode: mode.to_owned(),
+            },
+        ));
+    }
+}

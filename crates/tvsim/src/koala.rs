@@ -1,0 +1,305 @@
+//! A Koala-style architectural description of the TV.
+//!
+//! Koala is the component model used at NXP/Philips for TV software; the
+//! Trader observation work built AspectKoala on top of it (paper
+//! Sect. 4.1). This module provides the architectural metadata layer:
+//! components with provides/requires interfaces and bindings, validated
+//! for completeness. The architecture-level reliability analysis (FMEA,
+//! `devtools`) consumes this description.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A component declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentDecl {
+    /// Component name.
+    pub name: String,
+    /// Interfaces this component provides.
+    pub provides: Vec<String>,
+    /// Interfaces this component requires.
+    pub requires: Vec<String>,
+}
+
+impl ComponentDecl {
+    /// Creates a declaration.
+    pub fn new(
+        name: impl Into<String>,
+        provides: impl IntoIterator<Item = impl Into<String>>,
+        requires: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        ComponentDecl {
+            name: name.into(),
+            provides: provides.into_iter().map(Into::into).collect(),
+            requires: requires.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// A binding: `consumer.requires_interface` → `provider`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// The component whose requirement is satisfied.
+    pub consumer: String,
+    /// The required interface.
+    pub interface: String,
+    /// The component providing it.
+    pub provider: String,
+}
+
+/// Architectural defects found by [`Assembly::validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssemblyIssue {
+    /// A required interface has no binding.
+    UnboundRequirement {
+        /// The requiring component.
+        component: String,
+        /// The unbound interface.
+        interface: String,
+    },
+    /// A binding references an unknown component.
+    UnknownComponent(String),
+    /// A binding's provider does not provide the interface.
+    WrongProvider {
+        /// The offending binding provider.
+        provider: String,
+        /// The interface it does not provide.
+        interface: String,
+    },
+}
+
+impl fmt::Display for AssemblyIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssemblyIssue::UnboundRequirement { component, interface } => {
+                write!(f, "`{component}` requires `{interface}` but it is unbound")
+            }
+            AssemblyIssue::UnknownComponent(c) => write!(f, "binding references unknown `{c}`"),
+            AssemblyIssue::WrongProvider { provider, interface } => {
+                write!(f, "`{provider}` does not provide `{interface}`")
+            }
+        }
+    }
+}
+
+/// A component assembly: components plus bindings.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assembly {
+    components: Vec<ComponentDecl>,
+    bindings: Vec<Binding>,
+}
+
+impl Assembly {
+    /// Creates an empty assembly.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component.
+    pub fn component(mut self, decl: ComponentDecl) -> Self {
+        self.components.push(decl);
+        self
+    }
+
+    /// Adds a binding.
+    pub fn bind(
+        mut self,
+        consumer: impl Into<String>,
+        interface: impl Into<String>,
+        provider: impl Into<String>,
+    ) -> Self {
+        self.bindings.push(Binding {
+            consumer: consumer.into(),
+            interface: interface.into(),
+            provider: provider.into(),
+        });
+        self
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[ComponentDecl] {
+        &self.components
+    }
+
+    /// The bindings.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// Components that directly depend on `name` (consume one of its
+    /// provided interfaces).
+    pub fn dependents_of(&self, name: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .bindings
+            .iter()
+            .filter(|b| b.provider == name)
+            .map(|b| b.consumer.as_str())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Components `name` directly depends on.
+    pub fn dependencies_of(&self, name: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .bindings
+            .iter()
+            .filter(|b| b.consumer == name)
+            .map(|b| b.provider.as_str())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Checks completeness: every requirement bound, all names known, all
+    /// providers actually provide.
+    pub fn validate(&self) -> Vec<AssemblyIssue> {
+        let mut issues = Vec::new();
+        let names: BTreeSet<&str> = self.components.iter().map(|c| c.name.as_str()).collect();
+        for b in &self.bindings {
+            if !names.contains(b.consumer.as_str()) {
+                issues.push(AssemblyIssue::UnknownComponent(b.consumer.clone()));
+            }
+            if !names.contains(b.provider.as_str()) {
+                issues.push(AssemblyIssue::UnknownComponent(b.provider.clone()));
+                continue;
+            }
+            let provider = self
+                .components
+                .iter()
+                .find(|c| c.name == b.provider)
+                .expect("checked above");
+            if !provider.provides.contains(&b.interface) {
+                issues.push(AssemblyIssue::WrongProvider {
+                    provider: b.provider.clone(),
+                    interface: b.interface.clone(),
+                });
+            }
+        }
+        for c in &self.components {
+            for req in &c.requires {
+                let bound = self
+                    .bindings
+                    .iter()
+                    .any(|b| b.consumer == c.name && &b.interface == req);
+                if !bound {
+                    issues.push(AssemblyIssue::UnboundRequirement {
+                        component: c.name.clone(),
+                        interface: req.clone(),
+                    });
+                }
+            }
+        }
+        issues
+    }
+}
+
+/// The TV's reference architecture: tuner → decoder → scaler → mixer →
+/// display, with teletext, audio, UI, EPG and platform services.
+pub fn tv_assembly() -> Assembly {
+    Assembly::new()
+        .component(ComponentDecl::new("tuner", ["ITransportStream"], ["IMemory"]))
+        .component(ComponentDecl::new(
+            "decoder",
+            ["IVideoFrames", "IAudioSamples", "ITeletextData"],
+            ["ITransportStream", "IMemory"],
+        ))
+        .component(ComponentDecl::new(
+            "teletext",
+            ["ITeletextPages"],
+            ["ITeletextData", "IMemory"],
+        ))
+        .component(ComponentDecl::new("scaler", ["IScaledVideo"], ["IVideoFrames", "IMemory"]))
+        .component(ComponentDecl::new(
+            "mixer",
+            ["IScreen"],
+            ["IScaledVideo", "ITeletextPages", "IOsd"],
+        ))
+        .component(ComponentDecl::new("audio", ["ISound"], ["IAudioSamples"]))
+        .component(ComponentDecl::new("ui", ["IOsd", "IUserInput"], ["IKeys"]))
+        .component(ComponentDecl::new("remote", ["IKeys"], Vec::<String>::new()))
+        .component(ComponentDecl::new("epg", ["IGuide"], ["ITransportStream"]))
+        .component(ComponentDecl::new("platform", ["IMemory"], Vec::<String>::new()))
+        .bind("tuner", "IMemory", "platform")
+        .bind("decoder", "ITransportStream", "tuner")
+        .bind("decoder", "IMemory", "platform")
+        .bind("teletext", "ITeletextData", "decoder")
+        .bind("teletext", "IMemory", "platform")
+        .bind("scaler", "IVideoFrames", "decoder")
+        .bind("scaler", "IMemory", "platform")
+        .bind("mixer", "IScaledVideo", "scaler")
+        .bind("mixer", "ITeletextPages", "teletext")
+        .bind("mixer", "IOsd", "ui")
+        .bind("audio", "IAudioSamples", "decoder")
+        .bind("ui", "IKeys", "remote")
+        .bind("epg", "ITransportStream", "tuner")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_assembly_is_complete() {
+        let a = tv_assembly();
+        let issues = a.validate();
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(a.components().len(), 10);
+    }
+
+    #[test]
+    fn dependency_queries() {
+        let a = tv_assembly();
+        let deps = a.dependencies_of("mixer");
+        assert!(deps.contains(&"scaler"));
+        assert!(deps.contains(&"teletext"));
+        assert!(deps.contains(&"ui"));
+        let dependents = a.dependents_of("decoder");
+        assert!(dependents.contains(&"teletext"));
+        assert!(dependents.contains(&"scaler"));
+        assert!(dependents.contains(&"audio"));
+    }
+
+    #[test]
+    fn unbound_requirement_flagged() {
+        let a = Assembly::new().component(ComponentDecl::new("x", ["IA"], ["IB"]));
+        let issues = a.validate();
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(issues[0], AssemblyIssue::UnboundRequirement { .. }));
+    }
+
+    #[test]
+    fn wrong_provider_flagged() {
+        let a = Assembly::new()
+            .component(ComponentDecl::new("a", ["IA"], Vec::<String>::new()))
+            .component(ComponentDecl::new("b", Vec::<String>::new(), ["IC"]))
+            .bind("b", "IC", "a");
+        let issues = a.validate();
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, AssemblyIssue::WrongProvider { .. })));
+    }
+
+    #[test]
+    fn unknown_component_flagged() {
+        let a = Assembly::new()
+            .component(ComponentDecl::new("a", ["IA"], Vec::<String>::new()))
+            .bind("ghost", "IA", "a");
+        assert!(a
+            .validate()
+            .iter()
+            .any(|i| matches!(i, AssemblyIssue::UnknownComponent(_))));
+    }
+
+    #[test]
+    fn issue_display() {
+        let i = AssemblyIssue::UnboundRequirement {
+            component: "x".into(),
+            interface: "IY".into(),
+        };
+        assert!(i.to_string().contains("unbound"));
+    }
+}

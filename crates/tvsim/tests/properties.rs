@@ -1,0 +1,101 @@
+//! Property-based robustness tests of the TV SUO.
+
+use proptest::prelude::*;
+use simkit::SimTime;
+use tvsim::{Key, TvFault, TvSystem};
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    prop_oneof![
+        Just(Key::Power),
+        (0u8..10).prop_map(Key::Digit),
+        Just(Key::VolUp),
+        Just(Key::VolDown),
+        Just(Key::Mute),
+        Just(Key::ChannelUp),
+        Just(Key::ChannelDown),
+        Just(Key::Teletext),
+        Just(Key::DualScreen),
+        Just(Key::Menu),
+        Just(Key::Ok),
+        Just(Key::Back),
+        Just(Key::Epg),
+        Just(Key::Pip),
+        Just(Key::Source),
+        Just(Key::SwivelLeft),
+        Just(Key::SwivelRight),
+        Just(Key::Sleep),
+    ]
+}
+
+fn arb_fault() -> impl Strategy<Value = TvFault> {
+    prop::sample::select(TvFault::ALL.to_vec())
+}
+
+proptest! {
+    /// The TV never panics and keeps its state invariants under arbitrary
+    /// key sequences with arbitrary active faults.
+    #[test]
+    fn tv_state_invariants_hold_under_faults(
+        faults in prop::collection::vec(arb_fault(), 0..4),
+        keys in prop::collection::vec(arb_key(), 1..120)
+    ) {
+        let mut tv = TvSystem::new();
+        for f in faults {
+            tv.inject_fault(f);
+        }
+        for (i, key) in keys.iter().enumerate() {
+            let at = SimTime::from_millis(50 * (i as u64 + 1));
+            let obs = tv.press(at, *key);
+            // Invariants, fault or no fault:
+            prop_assert!((0..=100).contains(&tv.volume_level()));
+            prop_assert!((1..=99).contains(&tv.channel()));
+            if tv.teletext().is_on() {
+                prop_assert!((100..=899).contains(&tv.teletext().page()));
+            }
+            prop_assert!(tv.swivel().angle().abs() <= 45);
+            prop_assert!(tv.sleep_timer().minutes() <= 120);
+            // No OSD focus while in standby.
+            if !tv.is_on() {
+                prop_assert_eq!(tv.screen_mode(), "off");
+            }
+            // Observations are stamped with the press time.
+            for o in &obs {
+                prop_assert_eq!(o.time, at);
+            }
+            let _ = tv.tick(at);
+        }
+    }
+
+    /// Coverage accounting: every press marks at least one block, and
+    /// snapshots never exceed the instrumented universe.
+    #[test]
+    fn coverage_bounds(keys in prop::collection::vec(arb_key(), 1..60)) {
+        let mut tv = TvSystem::new();
+        for (i, key) in keys.iter().enumerate() {
+            let at = SimTime::from_millis(10 * (i as u64 + 1));
+            tv.press(at, *key);
+            let snap = tv.take_coverage();
+            prop_assert!(snap.count() > 0, "a press must execute code");
+            prop_assert!(snap.count() <= tv.n_blocks());
+        }
+    }
+
+    /// Determinism: identical scenarios produce identical observations
+    /// and identical coverage.
+    #[test]
+    fn tv_is_deterministic(keys in prop::collection::vec(arb_key(), 1..60)) {
+        let run = || {
+            let mut tv = TvSystem::new();
+            let mut all = Vec::new();
+            for (i, key) in keys.iter().enumerate() {
+                let at = SimTime::from_millis(10 * (i as u64 + 1));
+                all.extend(tv.press(at, *key));
+            }
+            (all, tv.take_coverage())
+        };
+        let (obs_a, cov_a) = run();
+        let (obs_b, cov_b) = run();
+        prop_assert_eq!(obs_a, obs_b);
+        prop_assert_eq!(cov_a, cov_b);
+    }
+}

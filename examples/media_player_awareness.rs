@@ -1,0 +1,27 @@
+//! E8: awareness experiments with the media player (the paper's MPlayer
+//! case, Sect. 5) — model-to-model validation, then correctness and
+//! performance monitoring of the player SUO.
+//!
+//! ```sh
+//! cargo run --example media_player_awareness
+//! ```
+
+use trader::experiments::e8_model_to_model;
+
+fn main() {
+    let report = e8_model_to_model::run(7);
+    println!("{report}");
+    println!();
+    println!("paper: framework validated model-to-model; MPlayer experiments");
+    println!("       investigate both correctness and performance issues.");
+    println!("here : aligned models raise {} errors over {} comparisons;",
+        report.model_to_model_errors, report.model_to_model_comparisons);
+    println!(
+        "       the lost-pause fault raises {} errors (time-based comparison),",
+        report.player_fault_errors
+    );
+    println!(
+        "       and the corrupt stream raises {} watchdog timeouts ({} late frames).",
+        report.perf_corrupt_timeouts, report.late_frames
+    );
+}

@@ -1,0 +1,23 @@
+//! E7: the user-perception study (paper Sect. 4.6) — stated importance vs
+//! observed irritation, and the dominance of failure attribution.
+//!
+//! ```sh
+//! cargo run --example perception_study
+//! ```
+
+use trader::experiments::e7_perception;
+use trader::perception::{run_factorial, FactorialDesign};
+
+fn main() {
+    let report = e7_perception::run(42);
+    println!("{report}");
+    println!();
+    println!("full factorial cell means (controlled setting):");
+    let effects = run_factorial(&FactorialDesign::paper_design(), 200, 42);
+    for ((function, attribution), mean) in &effects.cell_means {
+        println!("  {function:<14} × {attribution:<9} -> {mean:.2}");
+    }
+    println!();
+    println!("paper: users tolerate bad image quality (external attribution)");
+    println!("       but are irritated by a failing swivel (internal).");
+}

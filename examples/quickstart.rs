@@ -1,0 +1,60 @@
+//! Quickstart: close the dependability loop around a television.
+//!
+//! Builds the TV system-under-observation, schedules a transient
+//! integration fault, and runs the same user scenario open-loop (the
+//! traditional best-effort product) and closed-loop (the Trader run-time
+//! awareness approach, paper Fig. 1). The closed loop detects the error
+//! and repairs it; the open loop lets the user suffer.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use trader::prelude::*;
+
+fn main() {
+    // A 40-press user session: power on, tune, browse teletext, volume.
+    let scenario = TimedScenario::teletext_session(40);
+
+    // A transient fault: during a 100 ms window the decoder misses the
+    // teletext mode-change notification (a real Trader case study).
+    let fault_window = faults::Schedule::Between {
+        from: SimTime::from_millis(250),
+        to: SimTime::from_millis(350),
+    };
+
+    println!("== open loop (no run-time awareness) ==");
+    let mut open = TvDependabilityLoop::open(42);
+    open.schedule_fault(fault_window.clone(), TvFault::TeletextSyncLoss);
+    let open_outcome = open.run(&scenario);
+    println!(
+        "failures: {}/{} presses, detected: {}, repaired: {}",
+        open_outcome.failure_steps,
+        open_outcome.steps,
+        open_outcome.detected_errors,
+        open_outcome.recoveries
+    );
+
+    println!();
+    println!("== closed loop (awareness monitor + correction) ==");
+    let mut closed = TvDependabilityLoop::closed(42);
+    closed.schedule_fault(fault_window, TvFault::TeletextSyncLoss);
+    let closed_outcome = closed.run(&scenario);
+    println!(
+        "failures: {}/{} presses, detected: {}, repaired: {}",
+        closed_outcome.failure_steps,
+        closed_outcome.steps,
+        closed_outcome.detected_errors,
+        closed_outcome.recoveries
+    );
+    if let Some(latency) = closed_outcome.detection_latency {
+        println!("detection latency: {latency}");
+    }
+
+    assert!(closed_outcome.failure_steps <= open_outcome.failure_steps);
+    println!();
+    println!(
+        "closed loop removed {} user-visible failure steps",
+        open_outcome.failure_steps - closed_outcome.failure_steps
+    );
+}

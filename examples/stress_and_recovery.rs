@@ -1,0 +1,19 @@
+//! Recovery and stress experiments: partial recovery (E4), load-balancing
+//! task migration (E5), CPU-eater stress testing (E6), and adaptive memory
+//! arbitration (E11) — the paper's Sect. 4.5 and 4.7 case studies.
+//!
+//! ```sh
+//! cargo run --example stress_and_recovery
+//! ```
+
+use trader::experiments::{e11_memory_arbiter, e4_partial_recovery, e5_load_balancing, e6_cpu_eater};
+
+fn main() {
+    println!("{}", e4_partial_recovery::run());
+    println!();
+    println!("{}", e5_load_balancing::run());
+    println!();
+    println!("{}", e6_cpu_eater::run());
+    println!();
+    println!("{}", e11_memory_arbiter::run());
+}

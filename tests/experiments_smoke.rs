@@ -1,0 +1,35 @@
+//! Smoke test: every experiment harness runs and renders its table.
+//! (Full-scale assertions live in each module's unit tests; this guards
+//! the end-to-end plumbing the benches and examples rely on.)
+
+use trader::experiments::*;
+
+#[test]
+fn all_experiment_reports_render() {
+    let tables = vec![
+        f1_closed_loop::run(20, 1).to_string(),
+        f2_framework::run(1).to_string(),
+        e1_spectra::run(15).to_string(),
+        e3_mode_consistency::run().to_string(),
+        e4_partial_recovery::run().to_string(),
+        e5_load_balancing::run().to_string(),
+        e6_cpu_eater::run().to_string(),
+        e7_perception::run(1).to_string(),
+        e8_model_to_model::run(1).to_string(),
+        e9_observation_overhead::run().to_string(),
+        e10_warning_priority::run(1).to_string(),
+        e11_memory_arbiter::run().to_string(),
+        e12_realtime_monitoring::run().to_string(),
+    ];
+    for table in tables {
+        assert!(table.contains('|'), "report must render a table:\n{table}");
+        assert!(table.lines().count() >= 3);
+    }
+}
+
+#[test]
+fn e2_report_renders() {
+    // E2 runs 16 monitor sweeps; kept separate for visibility in timing.
+    let table = e2_comparator::run(1).to_string();
+    assert!(table.contains("threshold"));
+}
