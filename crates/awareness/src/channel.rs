@@ -57,11 +57,14 @@ impl<T> DelayChannel<T> {
 
     /// Drops each message independently with probability `p`.
     ///
+    /// `p = 1.0` is accepted and models a fully severed link (every
+    /// message is lost) — useful for blackout fault campaigns.
+    ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `[0, 1)`.
+    /// Panics if `p` is outside `[0, 1]`.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0,1)");
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
         self.loss_probability = p;
         self
     }
@@ -69,6 +72,16 @@ impl<T> DelayChannel<T> {
     /// The configured base delay.
     pub fn base_delay(&self) -> SimDuration {
         self.base_delay
+    }
+
+    /// The configured jitter bound.
+    pub fn jitter(&self) -> SimDuration {
+        self.jitter
+    }
+
+    /// The configured loss probability.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
     }
 
     /// Messages accepted for sending.
@@ -195,6 +208,16 @@ mod tests {
         assert_eq!(ch.sent(), 1000);
         assert_eq!(ch.lost() + delivered, 1000);
         assert!(ch.lost() > 350 && ch.lost() < 650, "lost={}", ch.lost());
+    }
+
+    #[test]
+    fn total_loss_severs_the_link() {
+        let mut ch: DelayChannel<u32> = DelayChannel::new(SimDuration::ZERO).with_loss(1.0);
+        for i in 0..100 {
+            assert!(ch.send(SimTime::ZERO, i).is_none());
+        }
+        assert_eq!(ch.lost(), 100);
+        assert!(ch.deliver_due(SimTime::from_millis(1)).is_empty());
     }
 
     #[test]

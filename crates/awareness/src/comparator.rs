@@ -1,6 +1,6 @@
 //! The comparator: expected vs observed, with debouncing.
 
-use crate::config::{CompareMode, CompareSpec, Configuration};
+use crate::config::{CheckPriority, CompareMode, CompareSpec, Configuration};
 use crate::error::DetectedError;
 use observe::ObsValue;
 use serde::{Deserialize, Serialize};
@@ -18,6 +18,35 @@ pub struct ComparatorStats {
     pub errors: u64,
     /// Comparisons skipped because comparison was disabled.
     pub skipped_disabled: u64,
+    /// Comparisons shed because the check's priority fell below the
+    /// degradation floor.
+    pub skipped_shed: u64,
+}
+
+/// Tolerance adjustments the supervisor applies under degradation.
+///
+/// Neutral by default: thresholds unscaled, no extra debouncing, no
+/// check shed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationKnobs {
+    /// Multiplier on every spec's deviation threshold (≥ 1 widens). For
+    /// exact (zero-threshold) specs a scale above 1 also grants a small
+    /// absolute slack so "widen" means something.
+    pub threshold_scale: f64,
+    /// Added to every spec's `max_consecutive` debounce.
+    pub extra_consecutive: u32,
+    /// Checks below this priority are skipped entirely.
+    pub min_priority: CheckPriority,
+}
+
+impl Default for DegradationKnobs {
+    fn default() -> Self {
+        DegradationKnobs {
+            threshold_scale: 1.0,
+            extra_consecutive: 0,
+            min_priority: CheckPriority::Low,
+        }
+    }
 }
 
 /// Compares the model's expected outputs with the system's observed
@@ -45,6 +74,7 @@ pub struct Comparator {
     consecutive: BTreeMap<String, u32>,
     last_time_compare: BTreeMap<String, SimTime>,
     enabled: bool,
+    degradation: DegradationKnobs,
     stats: ComparatorStats,
 }
 
@@ -58,8 +88,21 @@ impl Comparator {
             consecutive: BTreeMap::new(),
             last_time_compare: BTreeMap::new(),
             enabled: true,
+            degradation: DegradationKnobs::default(),
             stats: ComparatorStats::default(),
         }
+    }
+
+    /// Applies (or, with [`DegradationKnobs::default`], removes) the
+    /// supervisor's degradation adjustments.
+    pub fn set_degradation(&mut self, knobs: DegradationKnobs) {
+        assert!(knobs.threshold_scale >= 1.0, "degradation must not tighten");
+        self.degradation = knobs;
+    }
+
+    /// The degradation adjustments currently in force.
+    pub fn degradation(&self) -> &DegradationKnobs {
+        &self.degradation
     }
 
     /// Enables or disables comparison (`IEnableCompare`): the model
@@ -165,6 +208,10 @@ impl Comparator {
             self.stats.skipped_disabled += 1;
             return None;
         }
+        if spec.priority < self.degradation.min_priority {
+            self.stats.skipped_shed += 1;
+            return None;
+        }
         let (expected, actual) = match (self.expected.get(name), self.observed.get(name)) {
             (Some(e), Some(a)) => (e.clone(), a.clone()),
             // Nothing to compare against yet.
@@ -172,14 +219,27 @@ impl Comparator {
         };
         self.stats.comparisons += 1;
         let deviation = expected.distance(&actual);
-        if deviation <= spec.threshold {
+        let threshold = if self.degradation.threshold_scale > 1.0 {
+            // Exact specs get an absolute slack of 0.5 per unit of scale
+            // above 1 so widening applies to them too.
+            spec.threshold * self.degradation.threshold_scale
+                + if spec.threshold == 0.0 {
+                    0.5 * (self.degradation.threshold_scale - 1.0)
+                } else {
+                    0.0
+                }
+        } else {
+            spec.threshold
+        };
+        let max_consecutive = spec.max_consecutive + self.degradation.extra_consecutive;
+        if deviation <= threshold {
             self.consecutive.insert(name.to_owned(), 0);
             return None;
         }
         self.stats.deviations += 1;
         let count = self.consecutive.entry(name.to_owned()).or_insert(0);
         *count += 1;
-        if *count > spec.max_consecutive {
+        if *count > max_consecutive {
             let consecutive = *count;
             self.consecutive.insert(name.to_owned(), 0);
             self.stats.errors += 1;
@@ -313,6 +373,51 @@ mod tests {
         assert_eq!(c.stats().comparisons, 0);
         c.set_expected("v", num(2.0));
         assert!(c.observe(SimTime::ZERO, "v", num(1.0)).is_some());
+    }
+
+    #[test]
+    fn degradation_widens_tolerances() {
+        let mut c = Comparator::new(Configuration::new());
+        c.set_degradation(DegradationKnobs {
+            threshold_scale: 3.0,
+            extra_consecutive: 1,
+            min_priority: CheckPriority::Low,
+        });
+        c.set_expected("v", num(5.0));
+        // Exact spec gains absolute slack 0.5 * (3 - 1) = 1.0.
+        assert!(c.observe(SimTime::ZERO, "v", num(5.9)).is_none());
+        assert_eq!(c.stats().deviations, 0);
+        // Beyond the widened threshold: one extra consecutive tolerated.
+        assert!(c.observe(SimTime::ZERO, "v", num(9.0)).is_none());
+        assert!(c.observe(SimTime::ZERO, "v", num(9.0)).is_some());
+        // Symbolic mismatches are never masked by widening.
+        c.set_expected("mode", ObsValue::Text("tv".into()));
+        c.observe(SimTime::ZERO, "mode", ObsValue::Text("menu".into()));
+        let err = c
+            .observe(SimTime::ZERO, "mode", ObsValue::Text("menu".into()))
+            .unwrap();
+        assert!(err.deviation.is_infinite());
+    }
+
+    #[test]
+    fn shedding_skips_below_priority_floor() {
+        let cfg = Configuration::new()
+            .observable("telemetry", CompareSpec::exact().with_priority(CheckPriority::Low))
+            .observable("safety", CompareSpec::exact().with_priority(CheckPriority::Critical));
+        let mut c = Comparator::new(cfg);
+        c.set_degradation(DegradationKnobs {
+            threshold_scale: 1.0,
+            extra_consecutive: 0,
+            min_priority: CheckPriority::Normal,
+        });
+        c.set_expected("telemetry", num(1.0));
+        c.set_expected("safety", num(1.0));
+        assert!(c.observe(SimTime::ZERO, "telemetry", num(99.0)).is_none());
+        assert_eq!(c.stats().skipped_shed, 1);
+        assert!(c.observe(SimTime::ZERO, "safety", num(99.0)).is_some());
+        // Back to normal: the shed check bites again.
+        c.set_degradation(DegradationKnobs::default());
+        assert!(c.observe(SimTime::ZERO, "telemetry", num(99.0)).is_some());
     }
 
     #[test]

@@ -38,13 +38,17 @@ pub mod message;
 pub mod model_executor;
 pub mod monitor;
 pub mod observers;
+pub mod reliable;
+pub mod supervisor;
 
 pub use channel::DelayChannel;
-pub use comparator::{Comparator, ComparatorStats};
-pub use config::{CompareMode, CompareSpec, Configuration};
+pub use comparator::{Comparator, ComparatorStats, DegradationKnobs};
+pub use config::{CheckPriority, CompareMode, CompareSpec, Configuration};
 pub use controller::Controller;
 pub use error::DetectedError;
 pub use message::Message;
 pub use model_executor::ModelExecutor;
 pub use monitor::{AwarenessMonitor, MonitorBuilder};
 pub use observers::{InputObserver, OutputObserver};
+pub use reliable::{BoundaryChannel, ReliableChannel, ReliableConfig, ReliableStats};
+pub use supervisor::{DegradationMode, Supervisor, SupervisorConfig, SupervisorReport};

@@ -8,6 +8,10 @@ use crate::error::DetectedError;
 use crate::message::Message;
 use crate::model_executor::ModelExecutor;
 use crate::observers::{InputObserver, OutputObserver};
+use crate::reliable::{BoundaryChannel, ReliableChannel, ReliableStats};
+use crate::supervisor::{
+    DegradationMode, Supervisor, SupervisorAction, SupervisorConfig, SupervisorReport,
+};
 use observe::Observation;
 use simkit::{SimDuration, SimTime};
 use statemachine::Machine;
@@ -42,6 +46,8 @@ pub struct MonitorBuilder<'m> {
     jitter: SimDuration,
     loss: f64,
     seed: u64,
+    reliable: bool,
+    supervision: Option<SupervisorConfig>,
 }
 
 impl<'m> MonitorBuilder<'m> {
@@ -55,6 +61,8 @@ impl<'m> MonitorBuilder<'m> {
             jitter: SimDuration::ZERO,
             loss: 0.0,
             seed: 0,
+            reliable: false,
+            supervision: None,
         }
     }
 
@@ -99,28 +107,93 @@ impl<'m> MonitorBuilder<'m> {
         self
     }
 
+    /// Runs the ack/retransmit [`ReliableChannel`] protocol over both
+    /// boundary wires instead of the bare [`DelayChannel`]: loss and
+    /// reordering become extra latency, and the channels' accounting can
+    /// tell *late* from *lost*.
+    pub fn reliable(mut self, reliable: bool) -> Self {
+        self.reliable = reliable;
+        self
+    }
+
+    /// Enables monitor self-supervision (heartbeat watchdog, graceful
+    /// degradation, escalation ladder) with the given parameters.
+    pub fn supervised(mut self, config: SupervisorConfig) -> Self {
+        self.supervision = Some(config);
+        self
+    }
+
+    fn make_channels(
+        input_delay: SimDuration,
+        output_delay: SimDuration,
+        jitter: SimDuration,
+        loss: f64,
+        seed: u64,
+        reliable: bool,
+    ) -> (BoundaryChannel<Message>, BoundaryChannel<Message>) {
+        if reliable {
+            let mk = |delay: SimDuration, loss: f64, stream: u64| {
+                let mut wire = DelayChannel::new(delay);
+                let mut acks = DelayChannel::new(delay);
+                if !jitter.is_zero() {
+                    wire = wire.with_jitter(jitter, seed.wrapping_add(stream));
+                    acks = acks.with_jitter(jitter, seed.wrapping_add(stream + 0x10));
+                }
+                if loss > 0.0 {
+                    wire = wire.with_loss(loss);
+                    acks = acks.with_loss(loss);
+                }
+                BoundaryChannel::Reliable(Box::new(ReliableChannel::over(
+                    wire,
+                    acks,
+                    seed.wrapping_add(stream + 0x20),
+                )))
+            };
+            (mk(input_delay, 0.0, 1), mk(output_delay, loss, 2))
+        } else {
+            let mut input_channel = DelayChannel::new(input_delay);
+            let mut output_channel = DelayChannel::new(output_delay);
+            if !jitter.is_zero() {
+                input_channel = input_channel.with_jitter(jitter, seed.wrapping_add(1));
+                output_channel = output_channel.with_jitter(jitter, seed.wrapping_add(2));
+            }
+            if loss > 0.0 {
+                output_channel = output_channel.with_loss(loss);
+            }
+            (
+                BoundaryChannel::Delay(input_channel),
+                BoundaryChannel::Delay(output_channel),
+            )
+        }
+    }
+
     /// Assembles and starts the monitor.
     pub fn build(self) -> AwarenessMonitor<'m> {
-        let mut input_channel = DelayChannel::new(self.input_delay);
-        let mut output_channel = DelayChannel::new(self.output_delay);
-        if !self.jitter.is_zero() {
-            input_channel = input_channel.with_jitter(self.jitter, self.seed.wrapping_add(1));
-            output_channel = output_channel.with_jitter(self.jitter, self.seed.wrapping_add(2));
-        }
-        if self.loss > 0.0 {
-            output_channel = output_channel.with_loss(self.loss);
-        }
+        let (input_channel, output_channel) = Self::make_channels(
+            self.input_delay,
+            self.output_delay,
+            self.jitter,
+            self.loss,
+            self.seed,
+            self.reliable,
+        );
         let mut controller = Controller::new();
         controller.start(SimTime::ZERO);
         let model = ModelExecutor::new(self.machine);
         let mut comparator = Comparator::new(self.configuration);
         comparator.set_enabled(model.compare_enabled());
         AwarenessMonitor {
-            input_observer: InputObserver::new(input_channel),
-            output_observer: OutputObserver::new(output_channel),
+            machine: self.machine,
+            input_observer: InputObserver::over(input_channel),
+            output_observer: OutputObserver::over(output_channel),
             model,
             comparator,
             controller,
+            supervisor: self.supervision.map(Supervisor::new),
+            channel_params: (self.input_delay, self.output_delay, self.jitter, self.loss),
+            channel_seed: self.seed,
+            channel_epoch: 0,
+            reliable: self.reliable,
             now: SimTime::ZERO,
         }
     }
@@ -134,11 +207,17 @@ impl<'m> MonitorBuilder<'m> {
 /// errors with [`AwarenessMonitor::drain_errors`].
 #[derive(Debug)]
 pub struct AwarenessMonitor<'m> {
+    machine: &'m Machine,
     input_observer: InputObserver,
     output_observer: OutputObserver,
     model: ModelExecutor<'m>,
     comparator: Comparator,
     controller: Controller,
+    supervisor: Option<Supervisor>,
+    channel_params: (SimDuration, SimDuration, SimDuration, f64),
+    channel_seed: u64,
+    channel_epoch: u64,
+    reliable: bool,
     now: SimTime,
 }
 
@@ -212,6 +291,65 @@ impl<'m> AwarenessMonitor<'m> {
         for e in errs {
             self.controller.notify(e);
         }
+        self.supervise(to);
+    }
+
+    /// Runs one self-supervision assessment at `now` and applies any
+    /// resulting structural actions. Called automatically at the end of
+    /// [`AwarenessMonitor::advance_to`]; callers emulating monitor
+    /// starvation (e.g. chaos campaigns) may also invoke it directly.
+    pub fn supervise(&mut self, now: SimTime) {
+        let Some(mut supervisor) = self.supervisor.take() else {
+            return;
+        };
+        let backlog =
+            self.input_observer.channel().in_flight() + self.output_observer.channel().in_flight();
+        let actions = supervisor.observe(now, backlog);
+        for action in actions {
+            match action {
+                SupervisorAction::Retry => {
+                    // Cheap resync: clear deviation streaks, keep state.
+                    self.comparator.reset();
+                }
+                SupervisorAction::RestartChannels => self.restart_channels(),
+                SupervisorAction::RestartMonitor => {
+                    self.restart_channels();
+                    self.comparator.reset();
+                    self.model = ModelExecutor::new(self.machine);
+                    self.comparator.set_enabled(self.model.compare_enabled());
+                    self.controller.stop();
+                    self.controller.start(now);
+                }
+                SupervisorAction::EnterSafeMode => {
+                    // Structural part of safe mode: drop the backlog that
+                    // can no longer be assessed. The knobs installed
+                    // below restrict checking to critical observables.
+                    self.input_observer.channel_mut().clear();
+                    self.output_observer.channel_mut().clear();
+                    self.comparator.reset();
+                }
+            }
+        }
+        self.comparator.set_degradation(supervisor.knobs());
+        supervisor.heartbeat(now);
+        self.supervisor = Some(supervisor);
+    }
+
+    fn restart_channels(&mut self) {
+        self.channel_epoch += 1;
+        let (input_delay, output_delay, jitter, loss) = self.channel_params;
+        let (input, output) = MonitorBuilder::make_channels(
+            input_delay,
+            output_delay,
+            jitter,
+            loss,
+            // A fresh seed stream per epoch: the restarted channel must
+            // not replay the exact disturbance pattern that killed it.
+            self.channel_seed.wrapping_add(self.channel_epoch.wrapping_mul(0x9E37_79B9)),
+            self.reliable,
+        );
+        *self.input_observer.channel_mut() = input;
+        *self.output_observer.channel_mut() = output;
     }
 
     fn handle_message(&mut self, at: SimTime, msg: Message) {
@@ -252,6 +390,55 @@ impl<'m> AwarenessMonitor<'m> {
     /// Comparator activity counters.
     pub fn comparator_stats(&self) -> &ComparatorStats {
         self.comparator.stats()
+    }
+
+    /// The input-side boundary channel (accounting, stats).
+    pub fn input_channel(&self) -> &BoundaryChannel<Message> {
+        self.input_observer.channel()
+    }
+
+    /// The output-side boundary channel (accounting, stats).
+    pub fn output_channel(&self) -> &BoundaryChannel<Message> {
+        self.output_observer.channel()
+    }
+
+    /// Reliable-protocol counters for the output channel, when the
+    /// monitor was built with [`MonitorBuilder::reliable`].
+    pub fn output_reliable_stats(&self) -> Option<&ReliableStats> {
+        self.output_observer.channel().reliable_stats()
+    }
+
+    /// The supervisor, when self-supervision is enabled.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+
+    /// Self-supervision counters, when supervision is enabled.
+    pub fn supervisor_report(&self) -> Option<&SupervisorReport> {
+        self.supervisor.as_ref().map(|s| s.report())
+    }
+
+    /// The current degradation mode ([`DegradationMode::Normal`] for an
+    /// unsupervised monitor).
+    pub fn degradation_mode(&self) -> DegradationMode {
+        self.supervisor
+            .as_ref()
+            .map_or(DegradationMode::Normal, |s| s.mode())
+    }
+
+    /// Leaves safe mode (operator intervention); no-op when the monitor
+    /// is unsupervised or not in safe mode.
+    pub fn leave_safe_mode(&mut self) {
+        if let Some(supervisor) = self.supervisor.as_mut() {
+            supervisor.leave_safe_mode();
+            let knobs = supervisor.knobs();
+            self.comparator.set_degradation(knobs);
+        }
+    }
+
+    /// Times the boundary channels were rebuilt by supervision.
+    pub fn channel_epoch(&self) -> u64 {
+        self.channel_epoch
     }
 
     /// The model executor (e.g. to inspect the model's state in tests).
@@ -428,6 +615,90 @@ mod tests {
         ));
         mon2.advance_to(SimTime::from_millis(200));
         assert_eq!(mon2.errors().len(), 1);
+    }
+
+    #[test]
+    fn reliable_channel_turns_loss_into_latency() {
+        let m = toggle_machine();
+        let mut mon = MonitorBuilder::new(&m)
+            .configuration(
+                Configuration::new()
+                    .with_default_spec(CompareSpec::exact().with_max_consecutive(1)),
+            )
+            .output_delay(SimDuration::from_millis(2))
+            .loss(0.4)
+            .seed(5)
+            .reliable(true)
+            .build();
+        let mut v = 0.0;
+        for k in 0..30u64 {
+            let at = 10 + k * 20;
+            mon.offer(&key(at));
+            v = 1.0 - v;
+            mon.offer(&light(at, v));
+            mon.advance_to(SimTime::from_millis(at + 19));
+        }
+        // Let retransmissions drain fully.
+        mon.advance_to(SimTime::from_secs(5));
+        assert!(mon.errors().is_empty(), "{:?}", mon.errors());
+        let out = mon.output_channel();
+        assert_eq!(out.lost(), 0);
+        assert_eq!(out.delivered(), 30);
+        assert_eq!(out.sent(), out.delivered() + out.in_flight() as u64);
+        let stats = mon.output_reliable_stats().unwrap();
+        assert!(stats.wire_lost > 0, "loss must have struck: {stats:?}");
+        assert!(stats.retransmits > 0);
+    }
+
+    #[test]
+    fn supervised_monitor_survives_stall_and_lands_in_safe_mode() {
+        let m = toggle_machine();
+        let mut mon = MonitorBuilder::new(&m)
+            .supervised(SupervisorConfig::default())
+            .build();
+        // Healthy cadence first.
+        for ms in (0..500).step_by(100) {
+            mon.advance_to(SimTime::from_millis(ms));
+        }
+        assert_eq!(mon.degradation_mode(), DegradationMode::Normal);
+        // The monitor loop starves: pumps come rarer than the stall
+        // bound, persistently.
+        let mut t = 500;
+        while mon.degradation_mode() != DegradationMode::SafeMode {
+            t += 700;
+            mon.advance_to(SimTime::from_millis(t));
+            assert!(t < 60_000, "ladder must reach safe mode");
+        }
+        let report = mon.supervisor_report().unwrap().to_owned();
+        assert!(report.retries >= 1, "{report:?}");
+        assert!(report.channel_restarts >= 1, "{report:?}");
+        assert!(report.monitor_restarts >= 1, "{report:?}");
+        assert_eq!(report.safe_mode_entries, 1, "{report:?}");
+        assert!(mon.channel_epoch() >= 1);
+        // Safe mode: normal-priority checks are shed, so even a glaring
+        // mismatch raises nothing — the monitor no longer vouches.
+        mon.offer(&key(t + 10));
+        mon.offer(&light(t + 10, 55.0));
+        mon.advance_to(SimTime::from_millis(t + 20));
+        assert!(mon.errors().is_empty());
+        assert_eq!(mon.degradation_mode(), DegradationMode::SafeMode);
+        // Operator intervention restores full checking.
+        mon.leave_safe_mode();
+        assert_eq!(mon.degradation_mode(), DegradationMode::Normal);
+        mon.offer(&key(t + 100));
+        mon.offer(&light(t + 100, 55.0));
+        mon.advance_to(SimTime::from_millis(t + 120));
+        assert_eq!(mon.errors().len(), 1);
+    }
+
+    #[test]
+    fn unsupervised_monitor_behaviour_is_unchanged_by_gaps() {
+        let m = toggle_machine();
+        let mut mon = MonitorBuilder::new(&m).build();
+        mon.advance_to(SimTime::from_millis(10));
+        mon.advance_to(SimTime::from_secs(100));
+        assert_eq!(mon.degradation_mode(), DegradationMode::Normal);
+        assert!(mon.supervisor_report().is_none());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::channel::DelayChannel;
 use crate::message::Message;
+use crate::reliable::BoundaryChannel;
 use observe::{Observation, ObservationKind};
 use simkit::SimTime;
 
@@ -15,13 +16,18 @@ use simkit::SimTime;
 /// (`IInputEvent` → `IEventInfo`).
 #[derive(Debug)]
 pub struct InputObserver {
-    channel: DelayChannel<Message>,
+    channel: BoundaryChannel<Message>,
     forwarded: u64,
 }
 
 impl InputObserver {
-    /// Creates an input observer sending through `channel`.
+    /// Creates an input observer sending through a bare `channel`.
     pub fn new(channel: DelayChannel<Message>) -> Self {
+        Self::over(BoundaryChannel::Delay(channel))
+    }
+
+    /// Creates an input observer sending through any boundary channel.
+    pub fn over(channel: BoundaryChannel<Message>) -> Self {
         InputObserver {
             channel,
             forwarded: 0,
@@ -59,8 +65,13 @@ impl InputObserver {
         self.forwarded
     }
 
+    /// Read access to the underlying channel (accounting, stats).
+    pub fn channel(&self) -> &BoundaryChannel<Message> {
+        &self.channel
+    }
+
     /// Access to the underlying channel (the monitor drains it).
-    pub fn channel_mut(&mut self) -> &mut DelayChannel<Message> {
+    pub fn channel_mut(&mut self) -> &mut BoundaryChannel<Message> {
         &mut self.channel
     }
 }
@@ -68,13 +79,18 @@ impl InputObserver {
 /// Forwards SUO *output* events to the comparator (`IOutputEvent`).
 #[derive(Debug)]
 pub struct OutputObserver {
-    channel: DelayChannel<Message>,
+    channel: BoundaryChannel<Message>,
     forwarded: u64,
 }
 
 impl OutputObserver {
-    /// Creates an output observer sending through `channel`.
+    /// Creates an output observer sending through a bare `channel`.
     pub fn new(channel: DelayChannel<Message>) -> Self {
+        Self::over(BoundaryChannel::Delay(channel))
+    }
+
+    /// Creates an output observer sending through any boundary channel.
+    pub fn over(channel: BoundaryChannel<Message>) -> Self {
         OutputObserver {
             channel,
             forwarded: 0,
@@ -106,8 +122,13 @@ impl OutputObserver {
         self.forwarded
     }
 
+    /// Read access to the underlying channel (accounting, stats).
+    pub fn channel(&self) -> &BoundaryChannel<Message> {
+        &self.channel
+    }
+
     /// Access to the underlying channel (the monitor drains it).
-    pub fn channel_mut(&mut self) -> &mut DelayChannel<Message> {
+    pub fn channel_mut(&mut self) -> &mut BoundaryChannel<Message> {
         &mut self.channel
     }
 }

@@ -1,0 +1,407 @@
+//! Monitor self-supervision: who watches the watcher.
+//!
+//! The awareness monitor is itself software running on the same loaded
+//! platform as the SUO (paper Sect. 4.2: resource stress is a primary
+//! failure trigger). A starved or flooded monitor silently stops being a
+//! dependability asset — worse, it keeps *claiming* health. The
+//! [`Supervisor`] closes a second, inner awareness loop around the
+//! monitor:
+//!
+//! * a **heartbeat watchdog** — every pump of the monitor's event loop
+//!   records a heartbeat; a gap longer than the configured stall bound
+//!   means the monitor was starved (e.g. by a CPU eater);
+//! * a **backlog watermark** — undelivered boundary-channel messages
+//!   above the overload limit mean the monitor is falling behind;
+//! * **graceful degradation** — under overload the comparator's
+//!   tolerances are widened and low-priority checks are shed
+//!   ([`DegradationMode::Shedding`]); after a stall the monitor runs
+//!   with widened tolerances while it re-synchronises
+//!   ([`DegradationMode::Relaxed`]);
+//! * an **escalation ladder** built from the recovery crate's
+//!   primitives: cheap retry → restart the boundary channels
+//!   ([`recovery::EscalationPolicy`] unit restart) → restart the whole
+//!   monitor (policy escalation) → **safe mode** when the
+//!   [`recovery::CircuitBreaker`] trips. Safe mode is sticky and honest:
+//!   only [`CheckPriority::Critical`] checks keep running, so the
+//!   monitor stops vouching for health it can no longer assess.
+
+use crate::comparator::DegradationKnobs;
+use crate::config::CheckPriority;
+use recovery::{CircuitBreaker, EscalationPolicy, RecoveryAction};
+use simkit::{SimDuration, SimTime};
+
+/// How far the monitor has degraded, from healthy to safe mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationMode {
+    /// Full checking, nominal tolerances.
+    Normal,
+    /// Tolerances widened (post-stall re-synchronisation).
+    Relaxed,
+    /// Tolerances widened and low-priority checks shed (overload).
+    Shedding,
+    /// Only critical checks run; sticky until explicitly left.
+    SafeMode,
+}
+
+impl DegradationMode {
+    /// The comparator adjustments this mode implies.
+    pub fn knobs(self, config: &SupervisorConfig) -> DegradationKnobs {
+        match self {
+            DegradationMode::Normal => DegradationKnobs::default(),
+            DegradationMode::Relaxed => DegradationKnobs {
+                threshold_scale: config.relax_threshold_scale,
+                extra_consecutive: config.relax_extra_consecutive,
+                min_priority: CheckPriority::Low,
+            },
+            DegradationMode::Shedding => DegradationKnobs {
+                threshold_scale: config.relax_threshold_scale,
+                extra_consecutive: config.relax_extra_consecutive,
+                min_priority: CheckPriority::Normal,
+            },
+            DegradationMode::SafeMode => DegradationKnobs {
+                threshold_scale: config.relax_threshold_scale,
+                extra_consecutive: config.relax_extra_consecutive,
+                min_priority: CheckPriority::Critical,
+            },
+        }
+    }
+}
+
+/// Watchdog, degradation, and escalation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Heartbeat gap beyond which the monitor counts as stalled.
+    pub stall_after: SimDuration,
+    /// Undelivered boundary messages beyond which the monitor counts as
+    /// overloaded.
+    pub overload_backlog: usize,
+    /// Threshold multiplier applied in degraded modes.
+    pub relax_threshold_scale: f64,
+    /// Extra consecutive deviations tolerated in degraded modes.
+    pub relax_extra_consecutive: u32,
+    /// Channel restarts allowed per window before escalating to a
+    /// monitor restart (the [`EscalationPolicy`] budget).
+    pub max_channel_restarts: u32,
+    /// Sliding window for the restart budget.
+    pub restart_window: SimDuration,
+    /// Consecutive escalated anomalies before the breaker opens and the
+    /// monitor drops to safe mode.
+    pub breaker_threshold: u32,
+    /// Breaker cool-down (a healthy probe after this closes it again).
+    pub breaker_cooldown: SimDuration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            stall_after: SimDuration::from_millis(500),
+            overload_backlog: 64,
+            relax_threshold_scale: 2.0,
+            relax_extra_consecutive: 2,
+            max_channel_restarts: 2,
+            restart_window: SimDuration::from_secs(10),
+            breaker_threshold: 4,
+            breaker_cooldown: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// A structural action the supervised monitor must carry out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorAction {
+    /// Clear comparator streaks and re-synchronise; cheapest rung.
+    Retry,
+    /// Drop and re-create the boundary channels' in-flight state.
+    RestartChannels,
+    /// Restart the whole monitor (model, comparator, channels).
+    RestartMonitor,
+    /// Enter sticky safe mode.
+    EnterSafeMode,
+}
+
+/// Self-supervision counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorReport {
+    /// Heartbeats recorded.
+    pub heartbeats: u64,
+    /// Stalls detected by the watchdog.
+    pub stalls: u64,
+    /// Overload episodes detected.
+    pub overloads: u64,
+    /// Cheap retries issued (first ladder rung).
+    pub retries: u64,
+    /// Channel restarts issued (second rung).
+    pub channel_restarts: u64,
+    /// Full monitor restarts issued (third rung).
+    pub monitor_restarts: u64,
+    /// Safe-mode entries (final rung).
+    pub safe_mode_entries: u64,
+}
+
+/// The monitor's watchdog and degradation governor.
+///
+/// Drive it with [`Supervisor::observe`] (before pumping, so the
+/// heartbeat gap is visible) and [`Supervisor::heartbeat`] (after a
+/// successful pump). `observe` returns the structural actions the caller
+/// must apply; the current [`DegradationMode`] tells it which comparator
+/// knobs to install.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    escalation: EscalationPolicy,
+    breaker: CircuitBreaker,
+    last_heartbeat: Option<SimTime>,
+    consecutive_anomalies: u32,
+    mode: DegradationMode,
+    report: SupervisorReport,
+}
+
+impl Supervisor {
+    /// Creates a supervisor in [`DegradationMode::Normal`].
+    pub fn new(config: SupervisorConfig) -> Self {
+        Supervisor {
+            escalation: EscalationPolicy::new(
+                config.max_channel_restarts,
+                config.restart_window,
+            ),
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+            config,
+            last_heartbeat: None,
+            consecutive_anomalies: 0,
+            mode: DegradationMode::Normal,
+            report: SupervisorReport::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// The current degradation mode.
+    pub fn mode(&self) -> DegradationMode {
+        self.mode
+    }
+
+    /// The comparator knobs for the current mode.
+    pub fn knobs(&self) -> DegradationKnobs {
+        self.mode.knobs(&self.config)
+    }
+
+    /// Self-supervision counters.
+    pub fn report(&self) -> &SupervisorReport {
+        &self.report
+    }
+
+    /// Records that the monitor's event loop ran at `now`.
+    pub fn heartbeat(&mut self, now: SimTime) {
+        self.report.heartbeats += 1;
+        self.last_heartbeat = Some(self.last_heartbeat.map_or(now, |t| t.max(now)));
+    }
+
+    /// Assesses monitor health at `now` given the boundary backlog, and
+    /// returns the structural actions to apply, mildest first.
+    ///
+    /// Anomalies climb the ladder: the first anomaly after a healthy
+    /// spell costs a cheap [`SupervisorAction::Retry`]; anomalies
+    /// recurring within the restart window consume channel restarts,
+    /// then a monitor restart; when even that keeps failing, the circuit
+    /// breaker opens and the supervisor drops to sticky safe mode.
+    pub fn observe(&mut self, now: SimTime, backlog: usize) -> Vec<SupervisorAction> {
+        if self.mode == DegradationMode::SafeMode {
+            return Vec::new();
+        }
+        let stalled = match self.last_heartbeat {
+            Some(last) => now.since(last) > self.config.stall_after,
+            None => false,
+        };
+        let overloaded = backlog > self.config.overload_backlog;
+        if stalled {
+            self.report.stalls += 1;
+        }
+        if overloaded {
+            self.report.overloads += 1;
+        }
+        if !stalled && !overloaded {
+            // Healthy assessment: heal the breaker, reset the ladder,
+            // and relax any transient degradation (safe mode is handled
+            // above).
+            self.breaker.record(now, true);
+            self.consecutive_anomalies = 0;
+            self.mode = DegradationMode::Normal;
+            return Vec::new();
+        }
+        // Degrade first: overload sheds, a stall widens tolerances.
+        self.mode = if overloaded {
+            DegradationMode::Shedding
+        } else {
+            DegradationMode::Relaxed
+        };
+        self.consecutive_anomalies += 1;
+        if !self.breaker.allows(now) {
+            return vec![self.enter_safe_mode()];
+        }
+        self.breaker.record(now, false);
+        if self.consecutive_anomalies == 1 {
+            // First anomaly after a healthy spell: cheap resync only.
+            self.report.retries += 1;
+            return vec![SupervisorAction::Retry];
+        }
+        let unit = if stalled { "monitor-loop" } else { "boundary" };
+        match self.escalation.decide(now, unit) {
+            RecoveryAction::RestartAll => {
+                self.report.monitor_restarts += 1;
+                vec![SupervisorAction::RestartMonitor]
+            }
+            // RestartUnit (and any future partial action) maps to the
+            // channel-restart rung.
+            _ => {
+                self.report.channel_restarts += 1;
+                vec![SupervisorAction::RestartChannels]
+            }
+        }
+    }
+
+    fn enter_safe_mode(&mut self) -> SupervisorAction {
+        self.mode = DegradationMode::SafeMode;
+        self.report.safe_mode_entries += 1;
+        SupervisorAction::EnterSafeMode
+    }
+
+    /// Leaves safe mode explicitly (operator intervention): the ladder
+    /// and breaker restart from a clean slate.
+    pub fn leave_safe_mode(&mut self) {
+        if self.mode == DegradationMode::SafeMode {
+            self.mode = DegradationMode::Normal;
+            self.escalation =
+                EscalationPolicy::new(self.config.max_channel_restarts, self.config.restart_window);
+            self.breaker =
+                CircuitBreaker::new(self.config.breaker_threshold, self.config.breaker_cooldown);
+            self.last_heartbeat = None;
+            self.consecutive_anomalies = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sup() -> Supervisor {
+        Supervisor::new(SupervisorConfig::default())
+    }
+
+    #[test]
+    fn healthy_monitor_stays_normal() {
+        let mut s = sup();
+        for ms in (0..2000).step_by(100) {
+            let t = SimTime::from_millis(ms);
+            assert!(s.observe(t, 0).is_empty());
+            s.heartbeat(t);
+        }
+        assert_eq!(s.mode(), DegradationMode::Normal);
+        assert_eq!(s.report().stalls, 0);
+        assert_eq!(s.report().retries, 0);
+    }
+
+    #[test]
+    fn persistent_stall_climbs_the_full_ladder_into_safe_mode() {
+        let mut s = sup();
+        s.heartbeat(SimTime::ZERO);
+        // Heartbeats stop; assessments every 600ms (> 500ms stall bound).
+        let mut actions = Vec::new();
+        for k in 1..=10u64 {
+            let t = SimTime::from_millis(600 * k);
+            actions.extend(s.observe(t, 0));
+            if s.mode() == DegradationMode::SafeMode {
+                break;
+            }
+        }
+        assert_eq!(
+            actions,
+            vec![
+                SupervisorAction::Retry,
+                SupervisorAction::RestartChannels,
+                SupervisorAction::RestartChannels,
+                SupervisorAction::RestartMonitor,
+                SupervisorAction::EnterSafeMode,
+            ],
+            "{:?}",
+            s.report()
+        );
+        assert_eq!(s.mode(), DegradationMode::SafeMode);
+        assert_eq!(s.report().safe_mode_entries, 1);
+        // Safe mode is sticky and quiet.
+        assert!(s.observe(SimTime::from_secs(60), 1000).is_empty());
+        assert_eq!(s.mode(), DegradationMode::SafeMode);
+        // Only critical checks survive there.
+        assert_eq!(s.knobs().min_priority, CheckPriority::Critical);
+    }
+
+    #[test]
+    fn overload_sheds_then_recovers() {
+        let mut s = sup();
+        let t0 = SimTime::ZERO;
+        s.heartbeat(t0);
+        let t1 = SimTime::from_millis(100);
+        let actions = s.observe(t1, 1000);
+        assert_eq!(actions, vec![SupervisorAction::Retry]);
+        assert_eq!(s.mode(), DegradationMode::Shedding);
+        assert_eq!(s.knobs().min_priority, CheckPriority::Normal);
+        assert!(s.knobs().threshold_scale > 1.0);
+        // Backlog drains: back to normal, ladder reset.
+        s.heartbeat(t1);
+        assert!(s.observe(SimTime::from_millis(200), 0).is_empty());
+        assert_eq!(s.mode(), DegradationMode::Normal);
+        assert_eq!(s.knobs(), DegradationKnobs::default());
+    }
+
+    #[test]
+    fn transient_stall_relaxes_then_heals() {
+        let mut s = sup();
+        s.heartbeat(SimTime::ZERO);
+        let actions = s.observe(SimTime::from_secs(2), 0);
+        assert_eq!(actions, vec![SupervisorAction::Retry]);
+        assert_eq!(s.mode(), DegradationMode::Relaxed);
+        assert_eq!(s.knobs().min_priority, CheckPriority::Low);
+        s.heartbeat(SimTime::from_secs(2));
+        assert!(s.observe(SimTime::from_millis(2100), 0).is_empty());
+        assert_eq!(s.mode(), DegradationMode::Normal);
+    }
+
+    #[test]
+    fn leave_safe_mode_resets_the_ladder() {
+        let mut s = sup();
+        s.heartbeat(SimTime::ZERO);
+        for k in 1..=10u64 {
+            s.observe(SimTime::from_millis(600 * k), 0);
+        }
+        assert_eq!(s.mode(), DegradationMode::SafeMode);
+        s.leave_safe_mode();
+        assert_eq!(s.mode(), DegradationMode::Normal);
+        // The ladder starts over from the cheap rung.
+        s.heartbeat(SimTime::from_secs(100));
+        let actions = s.observe(SimTime::from_secs(102), 0);
+        assert_eq!(actions, vec![SupervisorAction::Retry]);
+    }
+
+    #[test]
+    fn interleaved_recovery_keeps_breaker_closed() {
+        let mut s = sup();
+        let mut t = SimTime::ZERO;
+        s.heartbeat(t);
+        // Alternating stall / recovery for a long time never reaches
+        // safe mode: every healthy assessment heals the breaker.
+        for _ in 0..50 {
+            t += SimDuration::from_millis(700);
+            let actions = s.observe(t, 0);
+            assert_eq!(actions, vec![SupervisorAction::Retry]);
+            s.heartbeat(t);
+            t += SimDuration::from_millis(100);
+            assert!(s.observe(t, 0).is_empty());
+        }
+        assert_eq!(s.mode(), DegradationMode::Normal);
+        assert_eq!(s.report().safe_mode_entries, 0);
+        assert_eq!(s.report().stalls, 50);
+    }
+}

@@ -1,0 +1,45 @@
+//! E13: chaos-campaign resilience — throughput of the hardened loop.
+//!
+//! Benchmarks the full seed-derived campaign (closed loop + open twin +
+//! stress leg) and the reliable protocol's overhead against a bare
+//! channel under identical loss, quantifying what the hardening costs.
+
+use bench::quick_criterion;
+use chaos::run_campaign;
+use criterion::Criterion;
+use std::hint::black_box;
+use trader::simkit::SimDuration;
+use trader::{TimedScenario, TvDependabilityLoop};
+
+fn lossy_loop(reliable: bool) -> trader::LoopOutcome {
+    let scenario = TimedScenario::teletext_session(40);
+    let mut looped = TvDependabilityLoop::closed(11);
+    looped.set_channel_loss(0.25);
+    looped.set_jitter(SimDuration::from_millis(2));
+    looped.use_reliable(reliable);
+    looped.run(&scenario)
+}
+
+fn benches(c: &mut Criterion) {
+    let outcome = run_campaign(0);
+    println!(
+        "campaign seed 0: fingerprint {:#018x}, closed {}/{} failures vs open {}/{}",
+        outcome.fingerprint(),
+        outcome.closed.failure_steps,
+        outcome.closed.steps,
+        outcome.open.failure_steps,
+        outcome.open.steps,
+    );
+
+    let mut group = c.benchmark_group("e13_chaos_resilience");
+    group.bench_function("full_campaign", |b| b.iter(|| black_box(run_campaign(0))));
+    group.bench_function("lossy_loop_bare", |b| b.iter(|| black_box(lossy_loop(false))));
+    group.bench_function("lossy_loop_reliable", |b| b.iter(|| black_box(lossy_loop(true))));
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -6,9 +6,9 @@ use std::hint::black_box;
 use trader::experiments::e2_comparator;
 
 fn benches(c: &mut Criterion) {
-    println!("{}", e2_comparator::run(7));
+    println!("{}", e2_comparator::run(9));
     let mut group = c.benchmark_group("e2_comparator_tradeoff");
-    group.bench_function("threshold_consecutive_sweep", |b| b.iter(|| black_box(e2_comparator::run(7))));
+    group.bench_function("threshold_consecutive_sweep", |b| b.iter(|| black_box(e2_comparator::run(9))));
     group.finish();
 }
 

@@ -6,9 +6,9 @@ use std::hint::black_box;
 use trader::experiments::f2_framework;
 
 fn benches(c: &mut Criterion) {
-    println!("{}", f2_framework::run(9));
+    println!("{}", f2_framework::run(4));
     let mut group = c.benchmark_group("f2_framework");
-    group.bench_function("model_to_model_40_presses", |b| b.iter(|| black_box(f2_framework::run(9))));
+    group.bench_function("model_to_model_40_presses", |b| b.iter(|| black_box(f2_framework::run(4))));
     group.finish();
 }
 

@@ -1,0 +1,148 @@
+//! The campaign invariants: what every seed must satisfy.
+
+use simkit::{SimDuration, SimTime};
+
+use crate::campaign::{CampaignOutcome, CampaignSpec};
+
+/// Upper bound on first-fault-to-first-detection latency for one
+/// campaign: the scenario horizon.
+///
+/// The bound is per-campaign rather than a constant because the metric
+/// spans *fault dormancy*, not just detection lag: a fault activates
+/// when its schedule says so, but produces no error until the user
+/// exercises the faulty function (paper terminology: fault → error →
+/// failure), e.g. a stuck volume injected seconds before the first
+/// volume key. Detection must still land within the run — campaigns
+/// whose latency would cross the horizon are detection failures. The
+/// battery additionally asserts *prompt* detection in aggregate (see
+/// `tests/campaigns.rs`), which a per-campaign constant cannot express
+/// without excluding dormant faults by construction.
+pub fn detection_latency_bound(spec: &CampaignSpec) -> SimDuration {
+    spec.horizon().since(SimTime::ZERO)
+}
+
+/// Audits one campaign outcome. Returns human-readable violations; an
+/// empty vector means the campaign passed.
+pub fn check_invariants(outcome: &CampaignOutcome) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut check = |ok: bool, msg: String| {
+        if !ok {
+            violations.push(msg);
+        }
+    };
+    let spec = &outcome.spec;
+    let (closed, open) = (&outcome.closed, &outcome.open);
+
+    // 1. Completion: both arms processed every press.
+    check(
+        closed.steps == spec.scenario_len && open.steps == spec.scenario_len,
+        format!(
+            "incomplete run: closed {} / open {} of {} presses",
+            closed.steps, open.steps, spec.scenario_len
+        ),
+    );
+
+    // 2. Determinism: the twins saw identical fault edges, and at least
+    // one fault actually activated (the campaign is not vacuous).
+    check(
+        closed.fault_activations == open.fault_activations,
+        format!(
+            "fault edges diverged: closed {} vs open {}",
+            closed.fault_activations, open.fault_activations
+        ),
+    );
+    check(
+        closed.fault_activations > 0,
+        "campaign activated no fault".to_owned(),
+    );
+
+    // 3. Bounded detection latency.
+    if let Some(latency) = closed.detection_latency {
+        let bound = detection_latency_bound(spec);
+        check(
+            latency <= bound,
+            format!("detection latency {latency:?} exceeds {bound:?}"),
+        );
+    }
+
+    // 4. Recovery convergence: closing the loop never makes the user's
+    // experience worse than leaving it open.
+    check(
+        closed.failure_steps <= open.failure_steps,
+        format!(
+            "closed loop worse than open: {} vs {} failure steps",
+            closed.failure_steps, open.failure_steps
+        ),
+    );
+    check(
+        open.detected_errors == 0 && open.recoveries == 0,
+        "open loop detected or repaired something".to_owned(),
+    );
+
+    // 5. Channel accounting conservation.
+    check(
+        closed.channels.is_some(),
+        "closed loop reported no channel audit".to_owned(),
+    );
+    if let Some(audit) = closed.channels {
+        check(
+            audit.conserved(),
+            format!(
+                "channel accounting broken: sent {} != delivered {} + lost {} + in-flight {}",
+                audit.sent, audit.delivered, audit.lost, audit.in_flight
+            ),
+        );
+        check(audit.sent > 0, "monitor channels carried nothing".to_owned());
+        if spec.reliable {
+            check(
+                audit.lost == 0,
+                format!("reliable protocol abandoned {} messages", audit.lost),
+            );
+        }
+    }
+
+    // 6. Stress sanity: eaters bite, the wait-for cycle is found.
+    let stress = &outcome.stress;
+    check(
+        stress.cpu_completed > 0 && stress.cpu_utilization > 0.5,
+        format!(
+            "cpu arm inert: {} completed at {:.2} utilization",
+            stress.cpu_completed, stress.cpu_utilization
+        ),
+    );
+    check(
+        stress.bus_stressed > stress.bus_nominal,
+        format!(
+            "bus eater had no effect: {:?} vs {:?}",
+            stress.bus_stressed, stress.bus_nominal
+        ),
+    );
+    check(
+        stress.hog_victim_latency > SimDuration::from_micros(10),
+        format!("memory hog had no effect: {:?}", stress.hog_victim_latency),
+    );
+    check(
+        stress.deadlock_cycle_len >= spec.stress.deadlock_tasks,
+        format!(
+            "deadlock cycle of {} tasks not found (len {})",
+            spec.stress.deadlock_tasks, stress.deadlock_cycle_len
+        ),
+    );
+
+    violations
+}
+
+/// Panics with the generating seed and every violation if the campaign
+/// failed its audit. The seed in the message is all a reproduction
+/// needs: `chaos::run_campaign(seed)` rebuilds the identical campaign.
+pub fn assert_invariants(outcome: &CampaignOutcome) {
+    let violations = check_invariants(outcome);
+    assert!(
+        violations.is_empty(),
+        "campaign seed {} violated {} invariant(s):\n  - {}\n{:#?}",
+        outcome.spec.seed,
+        violations.len(),
+        violations.join("\n  - "),
+        outcome
+    );
+}

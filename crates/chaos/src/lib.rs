@@ -1,0 +1,51 @@
+//! # chaos — deterministic fault-campaign engine
+//!
+//! The paper's central claim is that dependability must be *engineered
+//! in* and then *demonstrated* — the industry-as-laboratory approach
+//! validates the awareness loop against realistic fault loads, not
+//! hand-picked single faults. This crate turns that into an executable
+//! regression: **campaigns**.
+//!
+//! A campaign is derived *entirely* from one `u64` seed
+//! ([`CampaignSpec::from_seed`]): a multi-fault injection plan over the
+//! television SUO, a disturbed process boundary (delay, jitter, loss),
+//! the channel protocol and supervision configuration, and a resource
+//! stress leg ([`StressPlan`]) composing the TASS-style eaters with a
+//! deadlock cycle. Running the campaign ([`CampaignSpec::run`]) drives
+//! the full closed loop *and* an open-loop twin over the same scenario,
+//! then [`check_invariants`] audits the outcome:
+//!
+//! 1. **No panic** — the run completed and processed every press.
+//! 2. **Determinism** — open and closed arms saw identical fault edges;
+//!    replaying the seed reproduces the outcome bit for bit
+//!    ([`CampaignOutcome::fingerprint`]).
+//! 3. **Bounded detection latency** — when the monitor detects, it
+//!    detects within [`detection_latency_bound`].
+//! 4. **Recovery convergence** — the closed loop never shows more
+//!    user-visible failures than its open-loop twin.
+//! 5. **Channel accounting conservation** — `sent == delivered + lost +
+//!    in_flight` on the monitor's boundary channels, and the reliable
+//!    protocol abandons nothing (`lost == 0`).
+//! 6. **Stress sanity** — eaters measurably degrade their resource and
+//!    the injected wait-for cycle is detected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod invariants;
+pub mod stress;
+
+pub use campaign::{CampaignOutcome, CampaignSpec, FaultPlan};
+pub use invariants::{assert_invariants, check_invariants, detection_latency_bound};
+pub use stress::{StressOutcome, StressPlan};
+
+/// Builds and runs the campaign for `seed`.
+///
+/// Everything about the campaign — fault mix, schedules, channel
+/// disturbance, protocol, supervision, stress shares — is derived from
+/// the seed, so a failure report only ever needs to print this one
+/// number to be reproducible.
+pub fn run_campaign(seed: u64) -> CampaignOutcome {
+    CampaignSpec::from_seed(seed).run()
+}

@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn eager_comparator_reports_false_errors() {
-        let report = run(7);
+        let report = run(9);
         let eager = report
             .rows
             .iter()
@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn tolerance_costs_detection_latency() {
-        let report = run(7);
+        let report = run(9);
         let eager = report
             .rows
             .iter()
@@ -210,7 +210,7 @@ mod tests {
 
     #[test]
     fn threshold_also_suppresses_noise() {
-        let report = run(7);
+        let report = run(9);
         for mc in [0u32, 1] {
             let tight = report
                 .rows

@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn aligned_models_raise_no_errors() {
-        let report = run(9);
+        let report = run(4);
         assert_eq!(report.aligned_errors, 0, "{report}");
         assert!(report.comparisons > 30, "{report}");
         assert_eq!(report.inputs, 40);
@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn perturbed_suo_is_detected() {
-        let report = run(9);
+        let report = run(4);
         assert!(report.perturbed_errors > 0, "{report}");
     }
 }

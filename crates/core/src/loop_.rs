@@ -6,7 +6,7 @@
 //! loop* adds the awareness monitor, complementary detectors, and a
 //! correction strategy.
 
-use awareness::{CompareSpec, Configuration, MonitorBuilder};
+use awareness::{CompareSpec, Configuration, MonitorBuilder, SupervisorConfig};
 use detect::{ConsistencyRule, Detector, ErrorEvent, ModeConsistencyDetector};
 use faults::injector::Transition;
 use faults::{Injector, Schedule};
@@ -18,6 +18,33 @@ use std::collections::BTreeMap;
 use tvsim::{tv_spec_machine, TvFault, TvSystem};
 
 use crate::scenario::TimedScenario;
+
+/// End-of-run accounting for the monitor's boundary channels, summed
+/// over the input and output directions.
+///
+/// With supervision enabled, channel restarts replace the channel pair;
+/// the audit covers the channels live at the end of the run (each epoch
+/// conserves independently).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelAudit {
+    /// Messages accepted for transmission.
+    pub sent: u64,
+    /// Messages delivered to the monitor.
+    pub delivered: u64,
+    /// Messages dropped on the wire and abandoned (bare channels only;
+    /// the reliable protocol never abandons).
+    pub lost: u64,
+    /// Messages still queued or awaiting acknowledgement.
+    pub in_flight: u64,
+}
+
+impl ChannelAudit {
+    /// The conservation invariant: every accepted message is delivered,
+    /// lost, or still in flight.
+    pub fn conserved(&self) -> bool {
+        self.sent == self.delivered + self.lost + self.in_flight
+    }
+}
 
 /// The outcome of running a scenario through the loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,6 +62,11 @@ pub struct LoopOutcome {
     pub detection_latency: Option<SimDuration>,
     /// Fault activation edges seen.
     pub fault_activations: usize,
+    /// Channel accounting at end of run (`None` in open loop).
+    pub channels: Option<ChannelAudit>,
+    /// Safe-mode entries recorded by the supervisor (zero without
+    /// supervision).
+    pub safe_mode_entries: u64,
 }
 
 impl LoopOutcome {
@@ -56,6 +88,10 @@ pub struct TvDependabilityLoop {
     machine: Machine,
     injector: Injector<TvFault>,
     output_delay: SimDuration,
+    jitter: SimDuration,
+    loss: f64,
+    reliable: bool,
+    supervision: Option<SupervisorConfig>,
 }
 
 impl TvDependabilityLoop {
@@ -76,6 +112,10 @@ impl TvDependabilityLoop {
             machine: tv_spec_machine(),
             injector: Injector::new(),
             output_delay: SimDuration::from_micros(500),
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            reliable: false,
+            supervision: None,
         }
     }
 
@@ -87,6 +127,29 @@ impl TvDependabilityLoop {
     /// Overrides the SUO→monitor output channel delay.
     pub fn set_output_delay(&mut self, delay: SimDuration) {
         self.output_delay = delay;
+    }
+
+    /// Adds uniform jitter to the monitor's boundary channels.
+    pub fn set_jitter(&mut self, jitter: SimDuration) {
+        self.jitter = jitter;
+    }
+
+    /// Sets the per-message loss probability on the boundary channels
+    /// (a disturbed process boundary).
+    pub fn set_channel_loss(&mut self, loss: f64) {
+        self.loss = loss;
+    }
+
+    /// Runs the monitor over the ack/retransmit reliable protocol
+    /// instead of bare delay channels.
+    pub fn use_reliable(&mut self, reliable: bool) {
+        self.reliable = reliable;
+    }
+
+    /// Enables monitor self-supervision (watchdog + degradation +
+    /// escalation ladder).
+    pub fn supervised(&mut self, config: SupervisorConfig) {
+        self.supervision = Some(config);
     }
 
     /// Runs the scenario to completion.
@@ -105,11 +168,17 @@ impl TvDependabilityLoop {
         let cfg = Configuration::new()
             .with_default_spec(CompareSpec::exact().with_max_consecutive(0));
         let mut monitor = self.closed.then(|| {
-            MonitorBuilder::new(&machine)
+            let mut builder = MonitorBuilder::new(&machine)
                 .configuration(cfg)
                 .output_delay(self.output_delay)
-                .seed(self.seed)
-                .build()
+                .jitter(self.jitter)
+                .loss(self.loss)
+                .reliable(self.reliable)
+                .seed(self.seed);
+            if let Some(config) = self.supervision {
+                builder = builder.supervised(config);
+            }
+            builder.build()
         });
         let mut mode_detector = self.closed.then(|| {
             let mut d = ModeConsistencyDetector::new();
@@ -130,6 +199,8 @@ impl TvDependabilityLoop {
             recoveries: 0,
             detection_latency: None,
             fault_activations: 0,
+            channels: None,
+            safe_mode_entries: 0,
         };
         let mut first_fault_at: Option<SimTime> = None;
         let mut first_detect_at: Option<SimTime> = None;
@@ -248,6 +319,18 @@ impl TvDependabilityLoop {
             (Some(f), Some(d)) if d >= f => Some(d.since(f)),
             _ => None,
         };
+        if let Some(monitor) = monitor.as_ref() {
+            let (input, output) = (monitor.input_channel(), monitor.output_channel());
+            outcome.channels = Some(ChannelAudit {
+                sent: input.sent() + output.sent(),
+                delivered: input.delivered() + output.delivered(),
+                lost: input.lost() + output.lost(),
+                in_flight: (input.in_flight() + output.in_flight()) as u64,
+            });
+            outcome.safe_mode_entries = monitor
+                .supervisor_report()
+                .map_or(0, |report| report.safe_mode_entries);
+        }
         outcome
     }
 }
@@ -340,6 +423,8 @@ mod tests {
             recoveries: 0,
             detection_latency: None,
             fault_activations: 0,
+            channels: None,
+            safe_mode_entries: 0,
         };
         assert!((o.failure_ratio() - 0.3).abs() < 1e-12);
     }

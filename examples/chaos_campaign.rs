@@ -1,0 +1,97 @@
+//! Chaos campaign: a seed-derived multi-fault torture run of the loop.
+//!
+//! Derives an entire campaign — fault mix, schedules, boundary
+//! disturbance (delay, jitter, loss), channel protocol, supervision,
+//! resource stress — from one seed, runs the closed loop and its
+//! open-loop twin, and audits the invariants. Pass a seed to replay a
+//! specific campaign bit-for-bit:
+//!
+//! ```sh
+//! cargo run --example chaos_campaign            # seed 0
+//! cargo run --example chaos_campaign -- 17      # replay seed 17
+//! ```
+
+use chaos::{check_invariants, run_campaign};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(0);
+
+    let outcome = run_campaign(seed);
+    let spec = &outcome.spec;
+
+    println!("== campaign seed {seed} ==");
+    println!(
+        "scenario: {} presses ({:?} horizon)",
+        spec.scenario_len,
+        spec.horizon()
+    );
+    for plan in &spec.faults {
+        println!("fault: {:?} on {:?}", plan.fault, plan.schedule);
+    }
+    println!(
+        "boundary: delay {:?}, jitter {:?}, loss {:.2} — {} channels, supervision {}",
+        spec.output_delay,
+        spec.jitter,
+        spec.loss,
+        if spec.reliable { "reliable" } else { "bare" },
+        if spec.supervised { "on" } else { "off" },
+    );
+    println!(
+        "stress: cpu eater {:.0}%, bus eater {:.0}%, hog {}x{} bursts, {}-task deadlock",
+        spec.stress.cpu_fraction * 100.0,
+        spec.stress.bus_fraction * 100.0,
+        spec.stress.hog_requests,
+        spec.stress.hog_bursts,
+        spec.stress.deadlock_tasks,
+    );
+
+    println!();
+    println!("== outcome ==");
+    for (name, arm) in [("closed", &outcome.closed), ("open", &outcome.open)] {
+        println!(
+            "{name:6} failures {}/{} | detected {} | repaired {} | latency {:?}",
+            arm.failure_steps, arm.steps, arm.detected_errors, arm.recoveries,
+            arm.detection_latency,
+        );
+    }
+    if let Some(audit) = outcome.closed.channels {
+        println!(
+            "channels: sent {} = delivered {} + lost {} + in-flight {} (conserved: {})",
+            audit.sent,
+            audit.delivered,
+            audit.lost,
+            audit.in_flight,
+            audit.conserved()
+        );
+    }
+    let stress = &outcome.stress;
+    println!(
+        "stress: cpu {} jobs at {:.0}% load ({} deadline misses), bus {:?} -> {:?}, \
+         victim latency {:?}, deadlock cycle {}",
+        stress.cpu_completed,
+        stress.cpu_utilization * 100.0,
+        stress.cpu_deadline_misses,
+        stress.bus_nominal,
+        stress.bus_stressed,
+        stress.hog_victim_latency,
+        stress.deadlock_cycle_len,
+    );
+
+    println!();
+    let violations = check_invariants(&outcome);
+    if violations.is_empty() {
+        println!(
+            "invariants: all hold (fingerprint {:#018x})",
+            outcome.fingerprint()
+        );
+    } else {
+        println!("invariants VIOLATED:");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -15,11 +15,11 @@ fn main() {
     println!();
     println!("{}", f1_closed_loop::run(40, 3));
     println!();
-    println!("{}", f2_framework::run(9));
+    println!("{}", f2_framework::run(4));
     println!();
     println!("{}", e1_spectra::run(27));
     println!();
-    println!("{}", e2_comparator::run(7));
+    println!("{}", e2_comparator::run(9));
     println!();
     println!("{}", e3_mode_consistency::run());
     println!();
@@ -31,7 +31,7 @@ fn main() {
     println!();
     println!("{}", e7_perception::run(42));
     println!();
-    println!("{}", e8_model_to_model::run(7));
+    println!("{}", e8_model_to_model::run(9));
     println!();
     println!("{}", e9_observation_overhead::run());
     println!();

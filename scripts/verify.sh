@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 verification plus a chaos smoke: what CI runs on every change.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test (workspace) =="
+cargo test -q
+
+echo "== clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== chaos smoke: replay campaign seed 0 =="
+cargo run -q --release --example chaos_campaign -- 0
+
+echo "verify: OK"

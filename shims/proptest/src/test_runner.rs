@@ -1,0 +1,212 @@
+//! The case runner and its deterministic RNG.
+
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Rejected cases tolerated before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The case did not meet an assumption and is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Deterministic RNG for strategies (xoshiro256++, SplitMix64-seeded).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value in `[0, span)`; `span` up to 2^64 (0 is invalid).
+    pub fn below_u128(&mut self, span: u128) -> u64 {
+        debug_assert!(span > 0 && span <= 1 << 64);
+        if span == 1 << 64 {
+            self.next_u64()
+        } else {
+            ((self.next_u64() as u128 * span) >> 64) as u64
+        }
+    }
+
+    /// A uniform usize in `[lo, hi]`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below_u128((hi - lo) as u128 + 1) as usize
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `property` against `config.cases` sampled inputs.
+///
+/// The seed derives from the test name (override: `PROPTEST_SHIM_SEED`)
+/// so runs are reproducible; failing cases panic with the case index,
+/// seed, and the sampled input's `Debug` form.
+pub fn run_property<S, P>(config: Config, name: &str, strategy: &S, property: P)
+where
+    S: Strategy,
+    P: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = std::env::var("PROPTEST_SHIM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fnv1a(name));
+    let mut rng = TestRng::seed(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let case = strategy.sample(&mut rng);
+        let desc = format!("{case:?}");
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(case)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(reason))) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{name}: too many rejected cases ({rejected}); last reason: {reason}"
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(message))) => {
+                panic!(
+                    "{name}: property failed at case {passed} (seed {seed}):\n  \
+                     {message}\n  input: {desc}"
+                );
+            }
+            Err(panic_payload) => {
+                eprintln!(
+                    "{name}: property panicked at case {passed} (seed {seed})\n  input: {desc}"
+                );
+                resume_unwind(panic_payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed(9);
+        let mut b = TestRng::seed(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The engine runs the full grammar: config header, doc
+        /// comments, multiple args, tuples, vec, oneof, map, assume.
+        #[test]
+        fn engine_smoke(
+            x in 0u64..100,
+            pair in (0u8..4, -5i64..5),
+            items in prop::collection::vec(any::<bool>(), 0..10),
+            label in prop_oneof![Just("a"), Just("b"), (0u32..3).prop_map(|_| "c")]
+        ) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert!(pair.0 < 4 && pair.1 >= -5 && pair.1 < 5);
+            prop_assert!(items.len() < 10);
+            prop_assert_ne!(x, 13);
+            prop_assert_eq!(label.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case() {
+        run_property(
+            Config::with_cases(8),
+            "shim::failures_panic_with_case",
+            &(0u64..10),
+            |x| {
+                if x < 100 {
+                    Err(TestCaseError::fail("always fails"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+}

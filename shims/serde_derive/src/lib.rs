@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! marker (nothing is actually serialized in-process, and the build
+//! environment cannot fetch the real serde). The shimmed `serde` crate
+//! blanket-implements its marker traits, so these derives expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the shimmed trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the shimmed trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
