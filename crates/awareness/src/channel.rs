@@ -7,7 +7,7 @@
 //! early comparator report false errors (paper Sect. 4.3). [`DelayChannel`]
 //! reproduces those dynamics deterministically from a seed.
 
-use simkit::{EventQueue, EventPriority, SimDuration, SimRng, SimTime};
+use simkit::{EventPriority, EventQueue, SimDuration, SimRng, SimTime};
 
 /// A unidirectional, delaying, lossy, deterministic message channel.
 ///
@@ -64,7 +64,10 @@ impl<T> DelayChannel<T> {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.loss_probability = p;
         self
     }
@@ -180,12 +183,9 @@ mod tests {
     #[test]
     fn jitter_is_deterministic_per_seed() {
         let mk = || {
-            let mut ch: DelayChannel<u32> =
-                DelayChannel::new(SimDuration::from_millis(1))
-                    .with_jitter(SimDuration::from_millis(4), 42);
-            let times: Vec<SimTime> = (0..20)
-                .filter_map(|i| ch.send(SimTime::ZERO, i))
-                .collect();
+            let mut ch: DelayChannel<u32> = DelayChannel::new(SimDuration::from_millis(1))
+                .with_jitter(SimDuration::from_millis(4), 42);
+            let times: Vec<SimTime> = (0..20).filter_map(|i| ch.send(SimTime::ZERO, i)).collect();
             times
         };
         assert_eq!(mk(), mk());
@@ -197,8 +197,7 @@ mod tests {
 
     #[test]
     fn loss_drops_messages() {
-        let mut ch: DelayChannel<u32> =
-            DelayChannel::new(SimDuration::ZERO).with_loss(0.5);
+        let mut ch: DelayChannel<u32> = DelayChannel::new(SimDuration::ZERO).with_loss(0.5);
         let mut delivered = 0;
         for i in 0..1000 {
             if ch.send(SimTime::ZERO, i).is_some() {

@@ -143,12 +143,7 @@ impl Comparator {
 
     /// Ingests an observed value; for event-based observables this
     /// performs a comparison and may report an error.
-    pub fn observe(
-        &mut self,
-        now: SimTime,
-        name: &str,
-        value: ObsValue,
-    ) -> Option<DetectedError> {
+    pub fn observe(&mut self, now: SimTime, name: &str, value: ObsValue) -> Option<DetectedError> {
         self.observed.insert(name.to_owned(), value);
         let spec = self.config.spec(name);
         match spec.mode {
@@ -170,7 +165,8 @@ impl Comparator {
                         .get(name)
                         .copied()
                         .unwrap_or(SimTime::ZERO);
-                    if now.since(last) >= period || (last == SimTime::ZERO && now >= SimTime::ZERO + period)
+                    if now.since(last) >= period
+                        || (last == SimTime::ZERO && now >= SimTime::ZERO + period)
                     {
                         Some(name.to_owned())
                     } else {
@@ -287,8 +283,7 @@ mod tests {
 
     #[test]
     fn threshold_tolerates_small_deviation() {
-        let cfg = Configuration::new()
-            .observable("v", CompareSpec::exact().with_threshold(2.0));
+        let cfg = Configuration::new().observable("v", CompareSpec::exact().with_threshold(2.0));
         let mut c = Comparator::new(cfg);
         c.set_expected("v", num(5.0));
         assert!(c.observe(SimTime::ZERO, "v", num(6.5)).is_none());
@@ -297,8 +292,8 @@ mod tests {
 
     #[test]
     fn consecutive_deviation_debouncing() {
-        let cfg = Configuration::new()
-            .observable("v", CompareSpec::exact().with_max_consecutive(2));
+        let cfg =
+            Configuration::new().observable("v", CompareSpec::exact().with_max_consecutive(2));
         let mut c = Comparator::new(cfg);
         c.set_expected("v", num(1.0));
         assert!(c.observe(SimTime::ZERO, "v", num(0.0)).is_none()); // 1st
@@ -309,8 +304,8 @@ mod tests {
 
     #[test]
     fn matching_value_resets_streak() {
-        let cfg = Configuration::new()
-            .observable("v", CompareSpec::exact().with_max_consecutive(2));
+        let cfg =
+            Configuration::new().observable("v", CompareSpec::exact().with_max_consecutive(2));
         let mut c = Comparator::new(cfg);
         c.set_expected("v", num(1.0));
         c.observe(SimTime::ZERO, "v", num(0.0));
@@ -402,8 +397,14 @@ mod tests {
     #[test]
     fn shedding_skips_below_priority_floor() {
         let cfg = Configuration::new()
-            .observable("telemetry", CompareSpec::exact().with_priority(CheckPriority::Low))
-            .observable("safety", CompareSpec::exact().with_priority(CheckPriority::Critical));
+            .observable(
+                "telemetry",
+                CompareSpec::exact().with_priority(CheckPriority::Low),
+            )
+            .observable(
+                "safety",
+                CompareSpec::exact().with_priority(CheckPriority::Critical),
+            );
         let mut c = Comparator::new(cfg);
         c.set_degradation(DegradationKnobs {
             threshold_scale: 1.0,

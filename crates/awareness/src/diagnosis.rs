@@ -1,0 +1,185 @@
+//! Online diagnosis: spectrum-based fault localization riding the
+//! awareness loop.
+//!
+//! The paper's diagnosis experiment (Sect. 4.4) ran *post-mortem*: record
+//! 27 key presses worth of spectra, then rank offline. The replay-debugging
+//! line of work behind it stresses that diagnosis only earns its keep when
+//! it is cheap enough to run **continuously on-device**. This module wires
+//! the streaming [`IncrementalDiagnoser`] into the monitor: the loop
+//! driver hands the monitor one coverage snapshot per scenario step
+//! ([`crate::AwarenessMonitor::record_coverage`]), the step inherits its
+//! pass/fail verdict from the comparator's detections since the previous
+//! snapshot, and every *failing* step triggers a re-ranked top-k — so the
+//! moment the comparator raises an error, the current best fault
+//! candidates are already available, mid-run.
+
+use observe::BlockSnapshot;
+use spectra::{Coefficient, IncrementalDiagnoser, RankingEntry, TopK};
+
+/// Parameters for in-loop diagnosis.
+#[derive(Debug, Clone)]
+pub struct DiagnosisConfig {
+    /// Instrumented blocks of the SUO.
+    pub n_blocks: u32,
+    /// Size of the maintained suspect window.
+    pub top_k: usize,
+    /// Parallel scoring shards (defaults to available parallelism,
+    /// capped at 8).
+    pub shards: usize,
+    /// Similarity coefficient (default Ochiai, per the paper).
+    pub coefficient: Coefficient,
+}
+
+impl DiagnosisConfig {
+    /// Defaults for an SUO with `n_blocks` instrumented blocks.
+    pub fn new(n_blocks: u32) -> Self {
+        let shards = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(8);
+        DiagnosisConfig {
+            n_blocks,
+            top_k: 10,
+            shards,
+            coefficient: Coefficient::Ochiai,
+        }
+    }
+
+    /// Sets the suspect-window size.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Sets the number of scoring shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the similarity coefficient.
+    pub fn with_coefficient(mut self, coefficient: Coefficient) -> Self {
+        self.coefficient = coefficient;
+        self
+    }
+}
+
+/// The monitor-resident diagnosis state: a streaming diagnoser plus
+/// bookkeeping tying spectra to the comparator's verdicts.
+#[derive(Debug)]
+pub struct OnlineDiagnosis {
+    diagnoser: IncrementalDiagnoser,
+    errors_at_last_step: u64,
+    failing_steps: usize,
+    triggered: u64,
+}
+
+impl OnlineDiagnosis {
+    /// Builds the diagnosis state from its configuration.
+    pub fn new(config: &DiagnosisConfig) -> Self {
+        OnlineDiagnosis {
+            diagnoser: IncrementalDiagnoser::new(config.n_blocks)
+                .with_coefficient(config.coefficient)
+                .with_top_k(config.top_k)
+                .with_shards(config.shards),
+            errors_at_last_step: 0,
+            failing_steps: 0,
+            triggered: 0,
+        }
+    }
+
+    /// Folds one step's coverage in. `errors_total` is the monitor's
+    /// monotonic detection counter; the step fails iff it advanced since
+    /// the previous step.
+    pub(crate) fn record(&mut self, snapshot: &BlockSnapshot, errors_total: u64) {
+        let failed = errors_total > self.errors_at_last_step;
+        self.errors_at_last_step = errors_total;
+        self.diagnoser.append_snapshot(snapshot, failed);
+        if failed {
+            self.failing_steps += 1;
+            self.triggered += 1;
+        }
+    }
+
+    /// The current suspect window (re-ranked after every step).
+    pub fn top_k(&self) -> &TopK {
+        self.diagnoser.top_k()
+    }
+
+    /// The current best suspects as ranking entries.
+    pub fn top_suspects(&self) -> &[RankingEntry] {
+        self.diagnoser.top_k().entries()
+    }
+
+    /// The single most suspicious block, if any step was recorded.
+    pub fn prime_suspect(&self) -> Option<u32> {
+        self.diagnoser.top_k().prime_suspect()
+    }
+
+    /// Steps recorded so far.
+    pub fn steps(&self) -> usize {
+        self.diagnoser.steps()
+    }
+
+    /// Steps that inherited a failing verdict from the comparator.
+    pub fn failing_steps(&self) -> usize {
+        self.failing_steps
+    }
+
+    /// Error-triggered re-rankings (diagnoses produced while running).
+    pub fn triggered_diagnoses(&self) -> u64 {
+        self.triggered
+    }
+
+    /// The underlying streaming diagnoser (full-report access).
+    pub fn diagnoser(&self) -> &IncrementalDiagnoser {
+        &self.diagnoser
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observe::BlockCoverage;
+
+    #[test]
+    fn verdicts_follow_error_counter() {
+        let config = DiagnosisConfig::new(100).with_top_k(3).with_shards(2);
+        let mut diag = OnlineDiagnosis::new(&config);
+        let mut cov = BlockCoverage::new(100);
+
+        cov.hit(1);
+        cov.hit(2);
+        diag.record(&cov.snapshot_and_reset(), 0); // no new errors: pass
+        cov.hit(2);
+        cov.hit(7);
+        diag.record(&cov.snapshot_and_reset(), 1); // counter advanced: fail
+        assert_eq!(diag.steps(), 2);
+        assert_eq!(diag.failing_steps(), 1);
+        assert_eq!(diag.triggered_diagnoses(), 1);
+        assert_eq!(diag.prime_suspect(), Some(7));
+
+        // Counter unchanged: next step passes even though errors existed
+        // earlier in the run.
+        cov.hit(1);
+        diag.record(&cov.snapshot_and_reset(), 1);
+        assert_eq!(diag.failing_steps(), 1);
+        assert_eq!(diag.steps(), 3);
+        assert_eq!(diag.top_suspects()[0].block, 7);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = DiagnosisConfig::new(50)
+            .with_top_k(5)
+            .with_shards(3)
+            .with_coefficient(Coefficient::Jaccard);
+        assert_eq!(c.n_blocks, 50);
+        assert_eq!(c.top_k, 5);
+        assert_eq!(c.shards, 3);
+        assert_eq!(c.coefficient, Coefficient::Jaccard);
+        let diag = OnlineDiagnosis::new(&c);
+        assert_eq!(diag.steps(), 0);
+        assert_eq!(diag.prime_suspect(), None);
+        assert!(diag.diagnoser().top_k().entries().is_empty());
+    }
+}

@@ -33,6 +33,7 @@ pub mod channel;
 pub mod comparator;
 pub mod config;
 pub mod controller;
+pub mod diagnosis;
 pub mod error;
 pub mod message;
 pub mod model_executor;
@@ -45,6 +46,7 @@ pub use channel::DelayChannel;
 pub use comparator::{Comparator, ComparatorStats, DegradationKnobs};
 pub use config::{CheckPriority, CompareMode, CompareSpec, Configuration};
 pub use controller::Controller;
+pub use diagnosis::{DiagnosisConfig, OnlineDiagnosis};
 pub use error::DetectedError;
 pub use message::Message;
 pub use model_executor::ModelExecutor;

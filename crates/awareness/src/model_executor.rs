@@ -118,7 +118,9 @@ mod tests {
             .after("switching", SimDuration::from_millis(100), "on", |t| {
                 t.output_const("screen", "video")
             })
-            .on("on", "power", "standby", |t| t.output_const("screen", "off"))
+            .on("on", "power", "standby", |t| {
+                t.output_const("screen", "off")
+            })
             .build()
             .unwrap()
     }
@@ -131,7 +133,10 @@ mod tests {
         assert!(out.is_empty()); // switching produces nothing yet
         assert!(!me.compare_enabled()); // unstable while switching
         let out = me.advance_to(SimTime::from_millis(200));
-        assert_eq!(out, vec![("screen".to_owned(), ObsValue::Text("video".into()))]);
+        assert_eq!(
+            out,
+            vec![("screen".to_owned(), ObsValue::Text("video".into()))]
+        );
         assert!(me.compare_enabled());
         assert_eq!(me.inputs_processed(), 1);
     }

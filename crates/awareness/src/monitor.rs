@@ -4,6 +4,7 @@ use crate::channel::DelayChannel;
 use crate::comparator::{Comparator, ComparatorStats};
 use crate::config::Configuration;
 use crate::controller::Controller;
+use crate::diagnosis::{DiagnosisConfig, OnlineDiagnosis};
 use crate::error::DetectedError;
 use crate::message::Message;
 use crate::model_executor::ModelExecutor;
@@ -48,6 +49,7 @@ pub struct MonitorBuilder<'m> {
     seed: u64,
     reliable: bool,
     supervision: Option<SupervisorConfig>,
+    diagnosis: Option<DiagnosisConfig>,
 }
 
 impl<'m> MonitorBuilder<'m> {
@@ -63,6 +65,7 @@ impl<'m> MonitorBuilder<'m> {
             seed: 0,
             reliable: false,
             supervision: None,
+            diagnosis: None,
         }
     }
 
@@ -120,6 +123,15 @@ impl<'m> MonitorBuilder<'m> {
     /// degradation, escalation ladder) with the given parameters.
     pub fn supervised(mut self, config: SupervisorConfig) -> Self {
         self.supervision = Some(config);
+        self
+    }
+
+    /// Enables in-loop spectrum diagnosis: the loop driver feeds one
+    /// coverage snapshot per scenario step via
+    /// [`AwarenessMonitor::record_coverage`], and comparator errors turn
+    /// into failing spectra that trigger an incremental top-k re-rank.
+    pub fn diagnosis(mut self, config: DiagnosisConfig) -> Self {
+        self.diagnosis = Some(config);
         self
     }
 
@@ -190,6 +202,8 @@ impl<'m> MonitorBuilder<'m> {
             comparator,
             controller,
             supervisor: self.supervision.map(Supervisor::new),
+            diagnosis: self.diagnosis.as_ref().map(OnlineDiagnosis::new),
+            errors_total: 0,
             channel_params: (self.input_delay, self.output_delay, self.jitter, self.loss),
             channel_seed: self.seed,
             channel_epoch: 0,
@@ -214,6 +228,8 @@ pub struct AwarenessMonitor<'m> {
     comparator: Comparator,
     controller: Controller,
     supervisor: Option<Supervisor>,
+    diagnosis: Option<OnlineDiagnosis>,
+    errors_total: u64,
     channel_params: (SimDuration, SimDuration, SimDuration, f64),
     channel_seed: u64,
     channel_epoch: u64,
@@ -249,13 +265,12 @@ impl<'m> AwarenessMonitor<'m> {
         loop {
             let t_in = self.input_observer.channel_mut().next_delivery();
             let t_out = self.output_observer.channel_mut().next_delivery();
-            let t_timer = self.model.next_timer_due().filter(|t| *t > self.model.executor().now());
+            let t_timer = self
+                .model
+                .next_timer_due()
+                .filter(|t| *t > self.model.executor().now());
             // Earliest pending activity; tie-break input < output < timer.
-            let candidates = [
-                (t_in, 0u8),
-                (t_out, 1u8),
-                (t_timer, 2u8),
-            ];
+            let candidates = [(t_in, 0u8), (t_out, 1u8), (t_timer, 2u8)];
             let next = candidates
                 .iter()
                 .filter_map(|(t, k)| t.map(|t| (t, *k)))
@@ -289,6 +304,7 @@ impl<'m> AwarenessMonitor<'m> {
         self.apply_expected(expected);
         let errs = self.comparator.tick(to);
         for e in errs {
+            self.errors_total += 1;
             self.controller.notify(e);
         }
         self.supervise(to);
@@ -345,7 +361,8 @@ impl<'m> AwarenessMonitor<'m> {
             loss,
             // A fresh seed stream per epoch: the restarted channel must
             // not replay the exact disturbance pattern that killed it.
-            self.channel_seed.wrapping_add(self.channel_epoch.wrapping_mul(0x9E37_79B9)),
+            self.channel_seed
+                .wrapping_add(self.channel_epoch.wrapping_mul(0x9E37_79B9)),
             self.reliable,
         );
         *self.input_observer.channel_mut() = input;
@@ -363,6 +380,7 @@ impl<'m> AwarenessMonitor<'m> {
                 let expected = self.model.advance_to(at.max(self.model.executor().now()));
                 self.apply_expected(expected);
                 if let Some(err) = self.comparator.observe(at, &name, value) {
+                    self.errors_total += 1;
                     self.controller.notify(err);
                 }
             }
@@ -375,6 +393,33 @@ impl<'m> AwarenessMonitor<'m> {
             self.comparator.set_expected(name, value);
         }
         self.comparator.set_enabled(self.model.compare_enabled());
+    }
+
+    /// Folds one scenario step's coverage snapshot into the online
+    /// diagnoser (no-op when diagnosis is not enabled).
+    ///
+    /// Call once per step, *after* advancing the monitor past the step's
+    /// observations: the step inherits a failing verdict iff the
+    /// comparator detected at least one error since the previous
+    /// snapshot, and a failing step immediately re-ranks the suspect
+    /// window ([`OnlineDiagnosis::top_suspects`]).
+    pub fn record_coverage(&mut self, snapshot: &observe::BlockSnapshot) {
+        let errors_total = self.errors_total;
+        if let Some(diag) = self.diagnosis.as_mut() {
+            diag.record(snapshot, errors_total);
+        }
+    }
+
+    /// The online diagnosis state, when enabled via
+    /// [`MonitorBuilder::diagnosis`].
+    pub fn diagnosis(&self) -> Option<&OnlineDiagnosis> {
+        self.diagnosis.as_ref()
+    }
+
+    /// Monotonic count of comparator errors detected over the monitor's
+    /// lifetime (never reset by [`AwarenessMonitor::drain_errors`]).
+    pub fn errors_total(&self) -> u64 {
+        self.errors_total
     }
 
     /// Detected errors so far (oldest first).
@@ -548,8 +593,8 @@ mod tests {
     #[test]
     fn debounced_comparator_tolerates_delay_transient() {
         let m = toggle_machine();
-        let cfg = Configuration::new()
-            .with_default_spec(CompareSpec::exact().with_max_consecutive(1));
+        let cfg =
+            Configuration::new().with_default_spec(CompareSpec::exact().with_max_consecutive(1));
         let mut mon = MonitorBuilder::new(&m)
             .configuration(cfg)
             .output_delay(SimDuration::from_millis(5))
@@ -699,6 +744,57 @@ mod tests {
         mon.advance_to(SimTime::from_secs(100));
         assert_eq!(mon.degradation_mode(), DegradationMode::Normal);
         assert!(mon.supervisor_report().is_none());
+    }
+
+    #[test]
+    fn comparator_error_triggers_in_loop_diagnosis() {
+        use observe::BlockCoverage;
+        let m = toggle_machine();
+        let mut mon = MonitorBuilder::new(&m)
+            .diagnosis(DiagnosisConfig::new(200).with_top_k(4).with_shards(2))
+            .build();
+        let mut cov = BlockCoverage::new(200);
+
+        // Step 1: healthy toggle; blocks 10..20 run.
+        mon.offer(&key(10));
+        mon.offer(&light(10, 1.0));
+        mon.advance_to(SimTime::from_millis(20));
+        for b in 10..20 {
+            cov.hit(b);
+        }
+        mon.record_coverage(&cov.snapshot_and_reset());
+        assert_eq!(mon.diagnosis().unwrap().failing_steps(), 0);
+        assert_eq!(mon.errors_total(), 0);
+
+        // Step 2: faulty path 150..155 executes and the light misbehaves.
+        mon.offer(&key(30));
+        mon.offer(&light(30, 1.0)); // expected 0 after second press
+        mon.advance_to(SimTime::from_millis(40));
+        for b in (10..20).chain(150..155) {
+            cov.hit(b);
+        }
+        mon.record_coverage(&cov.snapshot_and_reset());
+
+        let diag = mon.diagnosis().unwrap();
+        assert_eq!(diag.steps(), 2);
+        assert_eq!(diag.failing_steps(), 1);
+        assert_eq!(diag.triggered_diagnoses(), 1);
+        // The fault region tops the window; the healthy common blocks don't.
+        assert_eq!(diag.prime_suspect(), Some(150));
+        assert!(mon.errors_total() >= 1);
+        // Draining errors must not disturb the verdict bookkeeping.
+        let _ = mon.drain_errors();
+        assert!(mon.errors_total() >= 1);
+    }
+
+    #[test]
+    fn diagnosis_disabled_by_default() {
+        let m = toggle_machine();
+        let mut mon = MonitorBuilder::new(&m).build();
+        let mut cov = observe::BlockCoverage::new(10);
+        cov.hit(1);
+        mon.record_coverage(&cov.snapshot_and_reset()); // no-op
+        assert!(mon.diagnosis().is_none());
     }
 
     #[test]

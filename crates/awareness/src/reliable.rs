@@ -165,13 +165,22 @@ impl<T: Clone> ReliableChannel<T> {
         seed: u64,
         config: ReliableConfig,
     ) -> Self {
-        assert!(!config.initial_rto.is_zero(), "initial_rto must be positive");
-        assert!(config.max_rto >= config.initial_rto, "max_rto < initial_rto");
+        assert!(
+            !config.initial_rto.is_zero(),
+            "initial_rto must be positive"
+        );
+        assert!(
+            config.max_rto >= config.initial_rto,
+            "max_rto < initial_rto"
+        );
         assert!(
             (0.0..=1.0).contains(&config.backoff_jitter),
             "backoff_jitter must be in [0,1]"
         );
-        assert!(config.reorder_capacity > 0, "reorder_capacity must be positive");
+        assert!(
+            config.reorder_capacity > 0,
+            "reorder_capacity must be positive"
+        );
         ReliableChannel {
             wire,
             acks,
@@ -187,12 +196,7 @@ impl<T: Clone> ReliableChannel<T> {
 
     /// Convenience constructor: both wires share `base_delay`, `jitter`,
     /// and `loss`, with independent per-direction RNG streams.
-    pub fn symmetric(
-        base_delay: SimDuration,
-        jitter: SimDuration,
-        loss: f64,
-        seed: u64,
-    ) -> Self
+    pub fn symmetric(base_delay: SimDuration, jitter: SimDuration, loss: f64, seed: u64) -> Self
     where
         T: std::fmt::Debug,
     {
@@ -219,13 +223,27 @@ impl<T: Clone> ReliableChannel<T> {
         self.next_seq += 1;
         self.stats.accepted += 1;
         self.stats.transmissions += 1;
-        let first = self.wire.send(now, Frame { seq, payload: payload.clone() });
+        let first = self.wire.send(
+            now,
+            Frame {
+                seq,
+                payload: payload.clone(),
+            },
+        );
         if first.is_none() {
             self.stats.wire_lost += 1;
         }
         let rto = self.config.initial_rto;
         let due = now + self.jittered(rto);
-        self.unacked.insert(seq, Pending { payload, rto, due, retries: 0 });
+        self.unacked.insert(
+            seq,
+            Pending {
+                payload,
+                rto,
+                due,
+                retries: 0,
+            },
+        );
         first
     }
 
@@ -261,8 +279,7 @@ impl<T: Clone> ReliableChannel<T> {
             // invalidate a data arrival, while the reverse order could
             // retransmit a frame the due ack already covers.
             for (_, ack) in self.acks.deliver_due(t) {
-                let covered: Vec<u64> =
-                    self.unacked.range(..ack).map(|(s, _)| *s).collect();
+                let covered: Vec<u64> = self.unacked.range(..ack).map(|(s, _)| *s).collect();
                 for seq in covered {
                     self.unacked.remove(&seq);
                 }
@@ -496,18 +513,17 @@ mod tests {
 
     #[test]
     fn lossless_wire_delivers_in_order() {
-        let mut ch: ReliableChannel<u64> = ReliableChannel::symmetric(
-            SimDuration::from_millis(2),
-            SimDuration::ZERO,
-            0.0,
-            1,
-        );
+        let mut ch: ReliableChannel<u64> =
+            ReliableChannel::symmetric(SimDuration::from_millis(2), SimDuration::ZERO, 0.0, 1);
         for i in 0..10 {
             ch.send(SimTime::from_millis(i), i);
             conservation(&ch);
         }
         let got = pump_to_quiescence(&mut ch, SimTime::from_millis(10));
-        assert_eq!(got.iter().map(|(_, v)| *v).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            got.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
         assert_eq!(ch.stats().retransmits, 0);
         conservation(&ch);
     }
@@ -524,7 +540,10 @@ mod tests {
             ch.send(SimTime::from_millis(i * 2), i);
         }
         let got = pump_to_quiescence(&mut ch, SimTime::from_millis(100));
-        assert_eq!(got.iter().map(|(_, v)| *v).collect::<Vec<_>>(), (0..50).collect::<Vec<_>>());
+        assert_eq!(
+            got.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            (0..50).collect::<Vec<_>>()
+        );
         let stats = ch.stats();
         assert!(stats.retransmits > 0, "40% loss must force retransmissions");
         assert!(stats.wire_lost > 0);
@@ -548,7 +567,10 @@ mod tests {
             ch.send(SimTime::from_millis(i), i);
         }
         let got = pump_to_quiescence(&mut ch, SimTime::from_millis(40));
-        assert_eq!(got.iter().map(|(_, v)| *v).collect::<Vec<_>>(), (0..40).collect::<Vec<_>>());
+        assert_eq!(
+            got.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            (0..40).collect::<Vec<_>>()
+        );
         // Release times are monotone: in-order release never time-travels.
         for w in got.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -589,7 +611,10 @@ mod tests {
             ch.send(SimTime::from_millis(i), i);
         }
         let got = pump_to_quiescence(&mut ch, SimTime::from_millis(60));
-        assert_eq!(got.iter().map(|(_, v)| *v).collect::<Vec<_>>(), (0..60).collect::<Vec<_>>());
+        assert_eq!(
+            got.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            (0..60).collect::<Vec<_>>()
+        );
         assert!(ch.reorder_buffered() <= 2);
         conservation(&ch);
     }
@@ -646,12 +671,8 @@ mod tests {
 
     #[test]
     fn clear_preserves_conservation() {
-        let mut ch: ReliableChannel<u64> = ReliableChannel::symmetric(
-            SimDuration::from_millis(5),
-            SimDuration::ZERO,
-            0.5,
-            8,
-        );
+        let mut ch: ReliableChannel<u64> =
+            ReliableChannel::symmetric(SimDuration::from_millis(5), SimDuration::ZERO, 0.5, 8);
         for i in 0..10 {
             ch.send(SimTime::from_millis(i), i);
         }
@@ -684,7 +705,10 @@ mod tests {
         bare.deliver_due(now);
         // Both satisfy conservation; only the bare wire loses.
         for ch in [&bare, &reliable] {
-            assert_eq!(ch.sent(), ch.delivered() + ch.lost() + ch.in_flight() as u64);
+            assert_eq!(
+                ch.sent(),
+                ch.delivered() + ch.lost() + ch.in_flight() as u64
+            );
         }
         assert!(bare.lost() > 0);
         assert_eq!(reliable.lost(), 0);

@@ -160,10 +160,7 @@ impl Supervisor {
     /// Creates a supervisor in [`DegradationMode::Normal`].
     pub fn new(config: SupervisorConfig) -> Self {
         Supervisor {
-            escalation: EscalationPolicy::new(
-                config.max_channel_restarts,
-                config.restart_window,
-            ),
+            escalation: EscalationPolicy::new(config.max_channel_restarts, config.restart_window),
             breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
             config,
             last_heartbeat: None,

@@ -8,7 +8,9 @@ use trader::experiments::e10_warning_priority;
 fn benches(c: &mut Criterion) {
     println!("{}", e10_warning_priority::run(11));
     let mut group = c.benchmark_group("e10_warning_priority");
-    group.bench_function("likelihood_vs_textual", |b| b.iter(|| black_box(e10_warning_priority::run(11))));
+    group.bench_function("likelihood_vs_textual", |b| {
+        b.iter(|| black_box(e10_warning_priority::run(11)))
+    });
     group.finish();
 }
 

@@ -8,7 +8,9 @@ use trader::experiments::e11_memory_arbiter;
 fn benches(c: &mut Criterion) {
     println!("{}", e11_memory_arbiter::run());
     let mut group = c.benchmark_group("e11_memory_arbiter");
-    group.bench_function("adaptive_vs_static_table", |b| b.iter(|| black_box(e11_memory_arbiter::run())));
+    group.bench_function("adaptive_vs_static_table", |b| {
+        b.iter(|| black_box(e11_memory_arbiter::run()))
+    });
     group.finish();
 }
 

@@ -8,7 +8,9 @@ use trader::experiments::e12_realtime_monitoring;
 fn benches(c: &mut Criterion) {
     println!("{}", e12_realtime_monitoring::run());
     let mut group = c.benchmark_group("e12_realtime_monitoring");
-    group.bench_function("deadline_sweep", |b| b.iter(|| black_box(e12_realtime_monitoring::run())));
+    group.bench_function("deadline_sweep", |b| {
+        b.iter(|| black_box(e12_realtime_monitoring::run()))
+    });
     group.finish();
 }
 

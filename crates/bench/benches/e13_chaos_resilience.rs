@@ -33,8 +33,12 @@ fn benches(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e13_chaos_resilience");
     group.bench_function("full_campaign", |b| b.iter(|| black_box(run_campaign(0))));
-    group.bench_function("lossy_loop_bare", |b| b.iter(|| black_box(lossy_loop(false))));
-    group.bench_function("lossy_loop_reliable", |b| b.iter(|| black_box(lossy_loop(true))));
+    group.bench_function("lossy_loop_bare", |b| {
+        b.iter(|| black_box(lossy_loop(false)))
+    });
+    group.bench_function("lossy_loop_reliable", |b| {
+        b.iter(|| black_box(lossy_loop(true)))
+    });
     group.finish();
 }
 

@@ -8,7 +8,9 @@ use trader::experiments::e2_comparator;
 fn benches(c: &mut Criterion) {
     println!("{}", e2_comparator::run(9));
     let mut group = c.benchmark_group("e2_comparator_tradeoff");
-    group.bench_function("threshold_consecutive_sweep", |b| b.iter(|| black_box(e2_comparator::run(9))));
+    group.bench_function("threshold_consecutive_sweep", |b| {
+        b.iter(|| black_box(e2_comparator::run(9)))
+    });
     group.finish();
 }
 

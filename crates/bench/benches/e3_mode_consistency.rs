@@ -8,7 +8,9 @@ use trader::experiments::e3_mode_consistency;
 fn benches(c: &mut Criterion) {
     println!("{}", e3_mode_consistency::run());
     let mut group = c.benchmark_group("e3_mode_consistency");
-    group.bench_function("teletext_sync_loss_detection", |b| b.iter(|| black_box(e3_mode_consistency::run())));
+    group.bench_function("teletext_sync_loss_detection", |b| {
+        b.iter(|| black_box(e3_mode_consistency::run()))
+    });
     group.finish();
 }
 

@@ -8,7 +8,9 @@ use trader::experiments::e4_partial_recovery;
 fn benches(c: &mut Criterion) {
     println!("{}", e4_partial_recovery::run());
     let mut group = c.benchmark_group("e4_partial_recovery");
-    group.bench_function("partial_vs_full_restart", |b| b.iter(|| black_box(e4_partial_recovery::run())));
+    group.bench_function("partial_vs_full_restart", |b| {
+        b.iter(|| black_box(e4_partial_recovery::run()))
+    });
     group.finish();
 }
 

@@ -8,7 +8,9 @@ use trader::experiments::e5_load_balancing;
 fn benches(c: &mut Criterion) {
     println!("{}", e5_load_balancing::run());
     let mut group = c.benchmark_group("e5_load_balancing");
-    group.bench_function("migration_under_bad_signal", |b| b.iter(|| black_box(e5_load_balancing::run())));
+    group.bench_function("migration_under_bad_signal", |b| {
+        b.iter(|| black_box(e5_load_balancing::run()))
+    });
     group.finish();
 }
 

@@ -8,7 +8,9 @@ use trader::experiments::e6_cpu_eater;
 fn benches(c: &mut Criterion) {
     println!("{}", e6_cpu_eater::run());
     let mut group = c.benchmark_group("e6_cpu_eater");
-    group.bench_function("eater_fraction_sweep", |b| b.iter(|| black_box(e6_cpu_eater::run())));
+    group.bench_function("eater_fraction_sweep", |b| {
+        b.iter(|| black_box(e6_cpu_eater::run()))
+    });
     group.finish();
 }
 

@@ -8,7 +8,9 @@ use trader::experiments::e7_perception;
 fn benches(c: &mut Criterion) {
     println!("{}", e7_perception::run(42));
     let mut group = c.benchmark_group("e7_perception");
-    group.bench_function("panel_200_factorial", |b| b.iter(|| black_box(e7_perception::run(42))));
+    group.bench_function("panel_200_factorial", |b| {
+        b.iter(|| black_box(e7_perception::run(42)))
+    });
     group.finish();
 }
 

@@ -8,7 +8,9 @@ use trader::experiments::e8_model_to_model;
 fn benches(c: &mut Criterion) {
     println!("{}", e8_model_to_model::run(7));
     let mut group = c.benchmark_group("e8_model_to_model");
-    group.bench_function("media_player_awareness", |b| b.iter(|| black_box(e8_model_to_model::run(7))));
+    group.bench_function("media_player_awareness", |b| {
+        b.iter(|| black_box(e8_model_to_model::run(7)))
+    });
     group.finish();
 }
 

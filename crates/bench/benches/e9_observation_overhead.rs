@@ -8,7 +8,9 @@ use trader::experiments::e9_observation_overhead;
 fn benches(c: &mut Criterion) {
     println!("{}", e9_observation_overhead::run());
     let mut group = c.benchmark_group("e9_observation_overhead");
-    group.bench_function("instrumentation_levels", |b| b.iter(|| black_box(e9_observation_overhead::run())));
+    group.bench_function("instrumentation_levels", |b| {
+        b.iter(|| black_box(e9_observation_overhead::run()))
+    });
     group.finish();
 }
 

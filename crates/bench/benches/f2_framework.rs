@@ -8,7 +8,9 @@ use trader::experiments::f2_framework;
 fn benches(c: &mut Criterion) {
     println!("{}", f2_framework::run(4));
     let mut group = c.benchmark_group("f2_framework");
-    group.bench_function("model_to_model_40_presses", |b| b.iter(|| black_box(f2_framework::run(4))));
+    group.bench_function("model_to_model_40_presses", |b| {
+        b.iter(|| black_box(f2_framework::run(4)))
+    });
     group.finish();
 }
 

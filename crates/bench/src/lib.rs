@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
+
 use criterion::Criterion;
 use std::time::Duration;
 

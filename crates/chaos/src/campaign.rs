@@ -80,7 +80,9 @@ impl CampaignSpec {
                 _ => {
                     let quarter = horizon.as_nanos() / 4;
                     let at = rng.uniform_u64(quarter, 3 * quarter);
-                    Schedule::From { at: SimTime::from_nanos(at) }
+                    Schedule::From {
+                        at: SimTime::from_nanos(at),
+                    }
                 }
             };
             faults.push(FaultPlan { fault, schedule });

@@ -92,7 +92,10 @@ pub fn check_invariants(outcome: &CampaignOutcome) -> Vec<String> {
                 audit.sent, audit.delivered, audit.lost, audit.in_flight
             ),
         );
-        check(audit.sent > 0, "monitor channels carried nothing".to_owned());
+        check(
+            audit.sent > 0,
+            "monitor channels carried nothing".to_owned(),
+        );
         if spec.reliable {
             check(
                 audit.lost == 0,

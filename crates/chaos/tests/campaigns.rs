@@ -83,8 +83,9 @@ fn replay_is_bit_identical() {
 /// experiments, not one experiment 24 times.
 #[test]
 fn distinct_seeds_produce_distinct_campaigns() {
-    let fingerprints: std::collections::BTreeSet<u64> =
-        (0..24).map(|seed| run_campaign(seed).fingerprint()).collect();
+    let fingerprints: std::collections::BTreeSet<u64> = (0..24)
+        .map(|seed| run_campaign(seed).fingerprint())
+        .collect();
     assert_eq!(fingerprints.len(), 24, "fingerprint collision across seeds");
     let multi_fault = (0..24)
         .map(CampaignSpec::from_seed)

@@ -56,7 +56,12 @@ impl fmt::Display for E10Report {
             f,
             "{}",
             render_table(
-                &["strategy", "mean fault rank", "top 10% hits", "top 25% hits"],
+                &[
+                    "strategy",
+                    "mean fault rank",
+                    "top 10% hits",
+                    "top 25% hits"
+                ],
                 &rows
             )
         )

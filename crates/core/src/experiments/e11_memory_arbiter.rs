@@ -88,7 +88,13 @@ fn run_strategy(adaptive: bool) -> (Vec<f64>, u64) {
             );
             sum += done.since(now);
             n += 1;
-            arbiter.request(now, MemoryRequest { port: CPU, bursts: 1 });
+            arbiter.request(
+                now,
+                MemoryRequest {
+                    port: CPU,
+                    bursts: 1,
+                },
+            );
             if adaptive && k % 20 == 19 {
                 policy.adapt(&mut arbiter);
             }
@@ -138,6 +144,9 @@ mod tests {
         let sd = &report.rows[0];
         // The SD phase may already trigger a boost; adaptive must never be
         // worse.
-        assert!(sd.latency_adaptive_us <= sd.latency_static_us + 1.0, "{report}");
+        assert!(
+            sd.latency_adaptive_us <= sd.latency_static_us + 1.0,
+            "{report}"
+        );
     }
 }

@@ -31,7 +31,9 @@ fn deadline_monitor(deadline: SimDuration) -> Machine {
         .output("violation")
         .on("idle", "power", "waiting", |t| t)
         .on("waiting", "screen_on", "ok", |t| t)
-        .after("waiting", deadline, "violated", |t| t.output_const("violation", 1))
+        .after("waiting", deadline, "violated", |t| {
+            t.output_const("violation", 1)
+        })
         .build()
         .expect("monitor machine is valid")
 }
@@ -70,9 +72,7 @@ impl fmt::Display for E12Report {
                     r.false_alarm_fast.to_string(),
                     r.false_alarm_slow.to_string(),
                     r.detects_hang.to_string(),
-                    r.hang_detect_ms
-                        .map(f2)
-                        .unwrap_or_else(|| "-".to_owned()),
+                    r.hang_detect_ms.map(f2).unwrap_or_else(|| "-".to_owned()),
                 ]
             })
             .collect();
@@ -154,8 +154,14 @@ mod tests {
         let tight = report.rows.iter().find(|r| r.deadline_ms == 150.0).unwrap();
         assert!(tight.false_alarm_fast, "{report}");
         let nominal = report.rows.iter().find(|r| r.deadline_ms == 400.0).unwrap();
-        assert!(!nominal.false_alarm_fast && !nominal.false_alarm_slow, "{report}");
+        assert!(
+            !nominal.false_alarm_fast && !nominal.false_alarm_slow,
+            "{report}"
+        );
         let tight300 = report.rows.iter().find(|r| r.deadline_ms == 300.0).unwrap();
-        assert!(!tight300.false_alarm_fast && tight300.false_alarm_slow, "{report}");
+        assert!(
+            !tight300.false_alarm_fast && tight300.false_alarm_slow,
+            "{report}"
+        );
     }
 }

@@ -65,7 +65,12 @@ impl fmt::Display for E2Report {
             f,
             "{}",
             render_table(
-                &["threshold", "max consec", "false errors", "detect latency (ms)"],
+                &[
+                    "threshold",
+                    "max consec",
+                    "false errors",
+                    "detect latency (ms)"
+                ],
                 &rows
             )
         )

@@ -8,8 +8,7 @@
 
 use crate::report::{f2, render_table};
 use recovery::{
-    CommManager, CounterUnit, RecoveryAction, RecoveryManager, RestartPolicy, UnitHost,
-    UnitMessage,
+    CommManager, CounterUnit, RecoveryAction, RecoveryManager, RestartPolicy, UnitHost, UnitMessage,
 };
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
@@ -57,7 +56,13 @@ impl fmt::Display for E4Report {
             f,
             "{}",
             render_table(
-                &["strategy", "outage (ms)", "delivered", "dropped", "availability"],
+                &[
+                    "strategy",
+                    "outage (ms)",
+                    "delivered",
+                    "dropped",
+                    "availability"
+                ],
                 &rows
             )
         )
@@ -98,7 +103,10 @@ fn run_strategy(partial: bool) -> E4Row {
             );
         }
         // Periodic checkpoints.
-        if now.as_nanos().is_multiple_of(SimDuration::from_secs(1).as_nanos()) {
+        if now
+            .as_nanos()
+            .is_multiple_of(SimDuration::from_secs(1).as_nanos())
+        {
             manager.checkpoint_all(now, &mut host);
         }
         // Fault injection: corrupt the teletext unit once.

@@ -132,7 +132,10 @@ mod tests {
     fn good_signal_phases_equal() {
         let report = run();
         let good = &report.rows[0];
-        assert!((good.quality_static - good.quality_balanced).abs() < 0.05, "{report}");
+        assert!(
+            (good.quality_static - good.quality_balanced).abs() < 0.05,
+            "{report}"
+        );
         assert!(good.quality_static > 0.95);
     }
 }

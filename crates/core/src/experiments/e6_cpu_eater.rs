@@ -123,7 +123,13 @@ fn run_bus_arm() -> Vec<E6BusRow> {
         let frames = 100u64;
         for k in 0..frames {
             let start = SimTime::from_nanos(k * frame.as_nanos());
-            let grant = bus.request(start, BusRequest { port: PortId(0), bytes: 1_600_000 });
+            let grant = bus.request(
+                start,
+                BusRequest {
+                    port: PortId(0),
+                    bytes: 1_600_000,
+                },
+            );
             let latency = grant.latency(start);
             sum_ms += latency.as_millis_f64();
             if latency > frame {
@@ -155,8 +161,20 @@ fn rta_predicts_schedulable(fraction: f64) -> bool {
             0,
         ));
     }
-    set.push(PeriodicTask::new(TaskId(0), "decode", period, cfg.decode_wcet, 1));
-    set.push(PeriodicTask::new(TaskId(1), "enhance", period, cfg.enhance_wcet, 2));
+    set.push(PeriodicTask::new(
+        TaskId(0),
+        "decode",
+        period,
+        cfg.decode_wcet,
+        1,
+    ));
+    set.push(PeriodicTask::new(
+        TaskId(1),
+        "enhance",
+        period,
+        cfg.enhance_wcet,
+        2,
+    ));
     set.is_schedulable()
 }
 
@@ -211,8 +229,16 @@ mod tests {
         // 30ms pipeline work + eater: the frame budget (40ms) exhausts
         // once the eater takes more than 10ms (25%).
         let report = run();
-        let at_20 = report.rows.iter().find(|r| r.eater_fraction == 0.20).unwrap();
-        let at_30 = report.rows.iter().find(|r| r.eater_fraction == 0.30).unwrap();
+        let at_20 = report
+            .rows
+            .iter()
+            .find(|r| r.eater_fraction == 0.20)
+            .unwrap();
+        let at_30 = report
+            .rows
+            .iter()
+            .find(|r| r.eater_fraction == 0.30)
+            .unwrap();
         assert!(at_20.full_quality_share > 0.9, "{report}");
         assert!(at_30.full_quality_share < 0.1, "{report}");
     }

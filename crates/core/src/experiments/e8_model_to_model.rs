@@ -87,8 +87,7 @@ impl fmt::Display for E8Report {
 /// Part 1: spec model vs itself-as-SUO across a jittery boundary.
 fn model_to_model(seed: u64) -> (usize, u64) {
     let machine = player_spec_machine();
-    let cfg = Configuration::new()
-        .with_default_spec(CompareSpec::exact().with_max_consecutive(1));
+    let cfg = Configuration::new().with_default_spec(CompareSpec::exact().with_max_consecutive(1));
     let mut monitor = MonitorBuilder::new(&machine)
         .configuration(cfg)
         .output_delay(SimDuration::from_millis(2))

@@ -39,7 +39,11 @@ pub struct E9Report {
 
 impl fmt::Display for E9Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E9 observation overhead over a {} ms scenario:", self.scenario_ms)?;
+        writeln!(
+            f,
+            "E9 observation overhead over a {} ms scenario:",
+            self.scenario_ms
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -57,7 +61,13 @@ impl fmt::Display for E9Report {
             f,
             "{}",
             render_table(
-                &["level", "probe firings", "block hits", "overhead (ms)", "overhead"],
+                &[
+                    "level",
+                    "probe firings",
+                    "block hits",
+                    "overhead (ms)",
+                    "overhead"
+                ],
                 &rows
             )
         )
@@ -156,7 +166,11 @@ mod tests {
     #[test]
     fn disabled_probes_cost_nothing() {
         let report = run();
-        let off = report.rows.iter().find(|r| r.level.contains("disabled")).unwrap();
+        let off = report
+            .rows
+            .iter()
+            .find(|r| r.level.contains("disabled"))
+            .unwrap();
         assert_eq!(off.firings, 0);
         assert_eq!(off.overhead_ms, 0.0);
     }
@@ -164,7 +178,11 @@ mod tests {
     #[test]
     fn coverage_dominates_event_probes() {
         let report = run();
-        let events = report.rows.iter().find(|r| r.level == "events only").unwrap();
+        let events = report
+            .rows
+            .iter()
+            .find(|r| r.level == "events only")
+            .unwrap();
         let full = report
             .rows
             .iter()

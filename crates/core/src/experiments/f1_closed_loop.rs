@@ -69,7 +69,14 @@ impl fmt::Display for F1Report {
             f,
             "{}",
             render_table(
-                &["mode", "failure steps", "failure ratio", "detected", "repairs", "latency (ms)"],
+                &[
+                    "mode",
+                    "failure steps",
+                    "failure ratio",
+                    "detected",
+                    "repairs",
+                    "latency (ms)"
+                ],
                 &rows
             )
         )
@@ -110,14 +117,16 @@ pub fn run(presses: usize, seed: u64) -> F1Report {
         schedule_faults(&mut looped);
         let outcome = looped.run(&scenario);
         rows.push(F1Row {
-            mode: if closed { "closed loop".into() } else { "open loop".into() },
+            mode: if closed {
+                "closed loop".into()
+            } else {
+                "open loop".into()
+            },
             failure_steps: outcome.failure_steps,
             failure_ratio: outcome.failure_ratio(),
             detected: outcome.detected_errors,
             recoveries: outcome.recoveries,
-            detection_latency_ms: outcome
-                .detection_latency
-                .map(|d| d.as_millis_f64()),
+            detection_latency_ms: outcome.detection_latency.map(|d| d.as_millis_f64()),
         });
     }
     F1Report {
@@ -135,7 +144,10 @@ mod tests {
         let report = run(40, 3);
         let open = &report.rows[0];
         let closed = &report.rows[1];
-        assert!(open.failure_steps > 0, "faults must be user-visible: {report}");
+        assert!(
+            open.failure_steps > 0,
+            "faults must be user-visible: {report}"
+        );
         assert!(
             closed.failure_steps < open.failure_steps,
             "closed loop must reduce failures: {report}"

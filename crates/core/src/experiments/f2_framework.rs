@@ -38,7 +38,10 @@ impl fmt::Display for F2Report {
         let rows = vec![
             vec!["input events".to_owned(), self.inputs.to_string()],
             vec!["comparisons".to_owned(), self.comparisons.to_string()],
-            vec!["errors (aligned)".to_owned(), self.aligned_errors.to_string()],
+            vec![
+                "errors (aligned)".to_owned(),
+                self.aligned_errors.to_string(),
+            ],
             vec![
                 "errors (perturbed SUO)".to_owned(),
                 self.perturbed_errors.to_string(),
@@ -62,8 +65,7 @@ fn run_once(perturb: bool, seed: u64) -> (u64, u64, usize) {
     // with up to 3 ms of reordering between the input and output paths, a
     // single press can produce two stale comparisons in a row, so two
     // consecutive deviations are tolerated before reporting.
-    let cfg = Configuration::new()
-        .with_default_spec(CompareSpec::exact().with_max_consecutive(2));
+    let cfg = Configuration::new().with_default_spec(CompareSpec::exact().with_max_consecutive(2));
     let mut monitor = MonitorBuilder::new(&machine)
         .configuration(cfg)
         .input_delay(SimDuration::from_millis(1))

@@ -16,12 +16,17 @@
 //! | E10 | §4.7    | execution-likelihood warning prioritization |
 //! | E11 | §4.5    | adaptive memory arbitration |
 //! | E12 | §4.3    | real-time property monitoring |
+//! | E14 | §4.4    | streaming + sharded diagnosis scales past 60 000 blocks |
 //!
 //! Every module exposes a `run(...)` returning a serializable report with
 //! a `Display` rendering the paper-style table; `crates/bench` wraps each
 //! in a Criterion bench and the EXPERIMENTS.md numbers come from the
 //! `paper_tables` example.
 
+pub mod e10_warning_priority;
+pub mod e11_memory_arbiter;
+pub mod e12_realtime_monitoring;
+pub mod e14_spectra_scale;
 pub mod e1_spectra;
 pub mod e2_comparator;
 pub mod e3_mode_consistency;
@@ -31,8 +36,5 @@ pub mod e6_cpu_eater;
 pub mod e7_perception;
 pub mod e8_model_to_model;
 pub mod e9_observation_overhead;
-pub mod e10_warning_priority;
-pub mod e11_memory_arbiter;
-pub mod e12_realtime_monitoring;
 pub mod f1_closed_loop;
 pub mod f2_framework;

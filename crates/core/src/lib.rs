@@ -79,9 +79,7 @@ pub mod prelude {
     pub use crate::loop_::{ChannelAudit, LoopOutcome, TvDependabilityLoop};
     pub use crate::scenario::TimedScenario;
     pub use crate::{experiments, faults};
-    pub use awareness::{
-        AwarenessMonitor, CompareSpec, Comparator, Configuration, MonitorBuilder,
-    };
+    pub use awareness::{AwarenessMonitor, Comparator, CompareSpec, Configuration, MonitorBuilder};
     pub use detect::{ConsistencyRule, Detector, DetectorBank, ModeConsistencyDetector};
     pub use observe::{ObsValue, Observation, ObservationKind};
     pub use simkit::{SimDuration, SimRng, SimTime};

@@ -6,7 +6,7 @@
 //! loop* adds the awareness monitor, complementary detectors, and a
 //! correction strategy.
 
-use awareness::{CompareSpec, Configuration, MonitorBuilder, SupervisorConfig};
+use awareness::{CompareSpec, Configuration, DiagnosisConfig, MonitorBuilder, SupervisorConfig};
 use detect::{ConsistencyRule, Detector, ErrorEvent, ModeConsistencyDetector};
 use faults::injector::Transition;
 use faults::{Injector, Schedule};
@@ -67,6 +67,12 @@ pub struct LoopOutcome {
     /// Safe-mode entries recorded by the supervisor (zero without
     /// supervision).
     pub safe_mode_entries: u64,
+    /// Error-triggered in-loop diagnoses (zero unless
+    /// [`TvDependabilityLoop::diagnose_online`] is enabled).
+    pub diagnoses_triggered: u64,
+    /// The diagnoser's suspect window at end of run, most suspicious
+    /// first (empty with diagnosis off or no steps recorded).
+    pub top_suspects: Vec<u32>,
 }
 
 impl LoopOutcome {
@@ -92,6 +98,7 @@ pub struct TvDependabilityLoop {
     loss: f64,
     reliable: bool,
     supervision: Option<SupervisorConfig>,
+    online_diagnosis_k: Option<usize>,
 }
 
 impl TvDependabilityLoop {
@@ -116,6 +123,7 @@ impl TvDependabilityLoop {
             loss: 0.0,
             reliable: false,
             supervision: None,
+            online_diagnosis_k: None,
         }
     }
 
@@ -152,6 +160,14 @@ impl TvDependabilityLoop {
         self.supervision = Some(config);
     }
 
+    /// Enables in-loop spectrum diagnosis with a `top_k`-sized suspect
+    /// window: each press's block coverage becomes one spectrum step,
+    /// comparator errors mark the step failing, and every failing step
+    /// re-ranks the suspects while the scenario is still running.
+    pub fn diagnose_online(&mut self, top_k: usize) {
+        self.online_diagnosis_k = Some(top_k);
+    }
+
     /// Runs the scenario to completion.
     pub fn run(&mut self, scenario: &TimedScenario) -> LoopOutcome {
         let machine = self.machine.clone();
@@ -165,8 +181,8 @@ impl TvDependabilityLoop {
         let mut sys_state: BTreeMap<String, ObsValue> = BTreeMap::new();
 
         // The run-time awareness monitor (closed loop only).
-        let cfg = Configuration::new()
-            .with_default_spec(CompareSpec::exact().with_max_consecutive(0));
+        let cfg =
+            Configuration::new().with_default_spec(CompareSpec::exact().with_max_consecutive(0));
         let mut monitor = self.closed.then(|| {
             let mut builder = MonitorBuilder::new(&machine)
                 .configuration(cfg)
@@ -177,6 +193,9 @@ impl TvDependabilityLoop {
                 .seed(self.seed);
             if let Some(config) = self.supervision {
                 builder = builder.supervised(config);
+            }
+            if let Some(top_k) = self.online_diagnosis_k {
+                builder = builder.diagnosis(DiagnosisConfig::new(tv.n_blocks()).with_top_k(top_k));
             }
             builder.build()
         });
@@ -201,6 +220,8 @@ impl TvDependabilityLoop {
             fault_activations: 0,
             channels: None,
             safe_mode_entries: 0,
+            diagnoses_triggered: 0,
+            top_suspects: Vec::new(),
         };
         let mut first_fault_at: Option<SimTime> = None;
         let mut first_detect_at: Option<SimTime> = None;
@@ -237,8 +258,7 @@ impl TvDependabilityLoop {
             }
 
             // Closed loop: observation, detection, correction.
-            if let (Some(monitor), Some(mode_detector)) =
-                (monitor.as_mut(), mode_detector.as_mut())
+            if let (Some(monitor), Some(mode_detector)) = (monitor.as_mut(), mode_detector.as_mut())
             {
                 let mut detector_errors: Vec<ErrorEvent> = Vec::new();
                 for obs in &observations {
@@ -250,6 +270,12 @@ impl TvDependabilityLoop {
                 let settle = *at + SimDuration::from_millis(20);
                 monitor.advance_to(settle);
                 let comparator_errors = monitor.drain_errors();
+                // One spectrum step per press: snapshot the coverage now so
+                // the step reflects the SUO's response to the press alone —
+                // repair bursts below are monitor-commanded and would
+                // otherwise correlate perfectly with failing verdicts and
+                // crowd out the true fault block.
+                let press_coverage = tv.take_coverage();
                 let n_errors = comparator_errors.len() + detector_errors.len();
                 if n_errors > 0 {
                     outcome.detected_errors += n_errors;
@@ -275,12 +301,11 @@ impl TvDependabilityLoop {
                             repair_obs.extend(tv.force_audio(settle, want_muted));
                             outcome.recoveries += 1;
                         }
-                        "teletext.page" | "screen.mode"
-                            if !resynced => {
-                                repair_obs.extend(tv.resync_teletext(settle));
-                                resynced = true;
-                                outcome.recoveries += 1;
-                            }
+                        "teletext.page" | "screen.mode" if !resynced => {
+                            repair_obs.extend(tv.resync_teletext(settle));
+                            resynced = true;
+                            outcome.recoveries += 1;
+                        }
                         _ => {}
                     }
                 }
@@ -294,9 +319,16 @@ impl TvDependabilityLoop {
                 if !repair_obs.is_empty() {
                     monitor.advance_to(settle + SimDuration::from_millis(5));
                     // Post-repair comparisons should now match; drop any
-                    // residual transient error raised by the repair burst.
+                    // residual transient error raised by the repair burst,
+                    // and the repair-path block coverage with it.
                     let _ = monitor.drain_errors();
+                    let _ = tv.take_coverage();
                 }
+                // Comparator errors since the last snapshot mark the step
+                // failing and re-rank the in-loop suspect window. Recording
+                // after the residual drain keeps repair transients from
+                // spilling a failing verdict onto the next step.
+                monitor.record_coverage(&press_coverage);
             }
 
             // User-visible failure check against the oracle.
@@ -330,6 +362,10 @@ impl TvDependabilityLoop {
             outcome.safe_mode_entries = monitor
                 .supervisor_report()
                 .map_or(0, |report| report.safe_mode_entries);
+            if let Some(diag) = monitor.diagnosis() {
+                outcome.diagnoses_triggered = diag.triggered_diagnoses();
+                outcome.top_suspects = diag.top_suspects().iter().map(|e| e.block).collect();
+            }
         }
         outcome
     }
@@ -415,6 +451,36 @@ mod tests {
     }
 
     #[test]
+    fn online_diagnosis_localizes_render_fault_mid_run() {
+        let mut looped = TvDependabilityLoop::closed(1);
+        looped.schedule_fault(Schedule::Always, TvFault::TeletextRenderFault);
+        // The fault block shares its ambiguity group with every other
+        // block conditioned on the same page bit (acquire + render bit-3
+        // sub-regions); the window must span that group to contain it.
+        looped.diagnose_online(128);
+        let outcome = looped.run(&teletext_scenario());
+
+        // The corrupted renders raise comparator errors, each of which
+        // marks the current spectrum step failing and re-ranks suspects.
+        assert!(outcome.diagnoses_triggered >= 1, "{outcome:?}");
+        let fault_block = tvsim::TvSystem::new().bank().teletext_fault_block();
+        assert!(
+            outcome.top_suspects.contains(&fault_block),
+            "fault block {fault_block} not in suspects {:?}",
+            outcome.top_suspects
+        );
+    }
+
+    #[test]
+    fn diagnosis_off_by_default() {
+        let mut looped = TvDependabilityLoop::closed(1);
+        looped.schedule_fault(Schedule::Always, TvFault::TeletextRenderFault);
+        let outcome = looped.run(&teletext_scenario());
+        assert_eq!(outcome.diagnoses_triggered, 0);
+        assert!(outcome.top_suspects.is_empty());
+    }
+
+    #[test]
     fn failure_ratio_math() {
         let o = LoopOutcome {
             steps: 10,
@@ -425,6 +491,8 @@ mod tests {
             fault_activations: 0,
             channels: None,
             safe_mode_entries: 0,
+            diagnoses_triggered: 0,
+            top_suspects: Vec::new(),
         };
         assert!((o.failure_ratio() - 0.3).abs() < 1e-12);
     }

@@ -70,7 +70,10 @@ impl TimedScenario {
 
     /// The time of the final press.
     pub fn end(&self) -> SimTime {
-        self.presses.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO)
+        self.presses
+            .last()
+            .map(|(t, _)| *t)
+            .unwrap_or(SimTime::ZERO)
     }
 }
 

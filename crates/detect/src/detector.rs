@@ -146,7 +146,6 @@ impl DetectorBank {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     struct Always;
     impl Detector for Always {

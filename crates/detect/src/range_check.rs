@@ -111,8 +111,7 @@ mod tests {
 
     #[test]
     fn severity_override() {
-        let mut d =
-            RangeCheckDetector::new("x", 0.0, 1.0).with_severity(ErrorSeverity::Critical);
+        let mut d = RangeCheckDetector::new("x", 0.0, 1.0).with_severity(ErrorSeverity::Critical);
         let errs = d.observe(&value_obs("x", 5.0));
         assert_eq!(errs[0].severity, ErrorSeverity::Critical);
     }

@@ -17,12 +17,7 @@ pub fn cycle_edges(tasks: &[&str]) -> Vec<(String, String)> {
         return Vec::new();
     }
     (0..tasks.len())
-        .map(|i| {
-            (
-                tasks[i].to_owned(),
-                tasks[(i + 1) % tasks.len()].to_owned(),
-            )
-        })
+        .map(|i| (tasks[i].to_owned(), tasks[(i + 1) % tasks.len()].to_owned()))
         .collect()
 }
 

@@ -48,7 +48,6 @@ impl<F> Injector<F> {
 }
 
 impl<F: Clone + PartialEq> Injector<F> {
-
     /// Adds a scheduled fault.
     pub fn add(&mut self, schedule: Schedule, fault: F) {
         self.entries.push((schedule, fault, false));

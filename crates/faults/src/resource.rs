@@ -7,8 +7,8 @@
 //! can be activated by system testers".
 
 use serde::{Deserialize, Serialize};
-use simkit::{Bus, Cpu, MemoryArbiter, MemoryRequest, SimDuration, SimTime, TaskId};
 use simkit::resource::PortId;
+use simkit::{Bus, Cpu, MemoryArbiter, MemoryRequest, SimDuration, SimTime, TaskId};
 
 /// The CPU eater: a periodic high-priority job that consumes a configured
 /// fraction of one processor.
@@ -188,15 +188,30 @@ mod tests {
         let slot = SimDuration::from_micros(10);
         // Victim alone.
         let mut clean = MemoryArbiter::new(table.clone(), slot);
-        let t_clean = clean.request(SimTime::ZERO, MemoryRequest { port: PortId(1), bursts: 1 });
+        let t_clean = clean.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(1),
+                bursts: 1,
+            },
+        );
         // Victim behind a hog on its own port queue? No — hog uses port 0,
         // but TDM isolates ports, so same-table latency is unchanged. The
         // hog hurts when it shares the port (DMA behind the CPU's port).
         let mut hogged = MemoryArbiter::new(table, slot);
         let hog = MemoryHog::new(PortId(1), 5, 1);
         hog.issue(&mut hogged, SimTime::ZERO);
-        let t_hogged = hogged.request(SimTime::ZERO, MemoryRequest { port: PortId(1), bursts: 1 });
-        assert!(t_hogged > t_clean, "hog must delay the victim: {t_hogged} vs {t_clean}");
+        let t_hogged = hogged.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(1),
+                bursts: 1,
+            },
+        );
+        assert!(
+            t_hogged > t_clean,
+            "hog must delay the victim: {t_hogged} vs {t_clean}"
+        );
     }
 
     #[test]

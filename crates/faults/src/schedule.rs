@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn between_schedule() {
-        let s = Schedule::Between { from: ms(10), to: ms(20) };
+        let s = Schedule::Between {
+            from: ms(10),
+            to: ms(20),
+        };
         assert!(!s.is_active(ms(9), 0));
         assert!(s.is_active(ms(10), 0));
         assert!(s.is_active(ms(19), 0));

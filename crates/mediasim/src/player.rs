@@ -1,7 +1,7 @@
 //! The media-player SUO.
 
 use crate::stream::MediaStream;
-use observe::{Observation, ObservationKind, ObsValue};
+use observe::{ObsValue, Observation, ObservationKind};
 use serde::{Deserialize, Serialize};
 use simkit::{Cpu, SimDuration, SimTime, TaskId};
 
@@ -169,13 +169,13 @@ impl MediaPlayer {
         let before = self.state;
         match (cmd, self.state) {
             ("play", PlayerState::Stopped) | ("play", PlayerState::Paused)
-                if self.stream.is_some() => {
-                    self.state = PlayerState::Playing;
-                }
-            ("pause", PlayerState::Playing)
-                if !self.pause_ignored => {
-                    self.state = PlayerState::Paused;
-                }
+                if self.stream.is_some() =>
+            {
+                self.state = PlayerState::Playing;
+            }
+            ("pause", PlayerState::Playing) if !self.pause_ignored => {
+                self.state = PlayerState::Paused;
+            }
             ("pause", PlayerState::Paused) => self.state = PlayerState::Playing,
             ("stop", _) => {
                 self.state = PlayerState::Stopped;
@@ -238,11 +238,14 @@ impl MediaPlayer {
             } else {
                 self.config.decode_wcet
             };
-            self.cpu.release(start, TASK_DEMUX, self.config.demux_wcet, 1, deadline);
-            self.cpu.release(start, TASK_DECODE, decode_cost, 2, deadline);
+            self.cpu
+                .release(start, TASK_DEMUX, self.config.demux_wcet, 1, deadline);
+            self.cpu
+                .release(start, TASK_DECODE, decode_cost, 2, deadline);
             self.cpu
                 .release(start, TASK_POSTPROC, self.config.postproc_wcet, 3, deadline);
-            self.cpu.release(start, TASK_RENDER, self.config.render_wcet, 4, deadline);
+            self.cpu
+                .release(start, TASK_RENDER, self.config.render_wcet, 4, deadline);
             let done = self.cpu.advance_to(deadline);
             let render_done = done.iter().find(|j| j.task == TASK_RENDER);
             match render_done {

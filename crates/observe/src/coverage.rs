@@ -36,12 +36,44 @@ impl BlockSnapshot {
     }
 
     /// Iterates over the hit block ids in ascending order.
+    ///
+    /// Built on [`BlockSnapshot::iter_hit_words`], so runtime is
+    /// proportional to the number of *hits*, not the number of
+    /// instrumented blocks — the sparse fast path that keeps folding a
+    /// snapshot into columnar diagnosis counters cheap at million-block
+    /// scale.
     pub fn iter_hits(&self) -> impl Iterator<Item = u32> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            (0..64)
-                .filter(move |b| word & (1u64 << b) != 0)
-                .map(move |b| wi as u32 * 64 + b)
+        self.iter_hit_words().flat_map(|(wi, word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(wi as u32 * 64 + b)
+            })
         })
+    }
+
+    /// Iterates over `(word_index, word)` pairs for **nonzero** bitset
+    /// words only, in ascending word order.
+    ///
+    /// This is the sparse step representation consumers fold over: a
+    /// typical scenario step touches a small fraction of the blocks, so
+    /// skipping zero words makes per-step accumulation O(hit words)
+    /// instead of O(total words).
+    pub fn iter_hit_words(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w != 0)
+            .map(|(i, &w)| (i, w))
+    }
+
+    /// Fraction of instrumented blocks hit, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        f64::from(self.count()) / f64::from(self.n_blocks)
     }
 
     /// Raw bitset words (used by the spectrum matrix without copying).
@@ -194,6 +226,29 @@ mod tests {
         let hits: Vec<u32> = snap.iter_hits().collect();
         assert_eq!(hits, vec![3, 64, 65, 199]);
         assert!(!snap.is_hit(200));
+    }
+
+    #[test]
+    fn hit_words_skip_zero_words() {
+        let mut cov = BlockCoverage::new(64 * 10);
+        cov.hit(0);
+        cov.hit(64 * 9); // words 1..=8 stay zero
+        let snap = cov.snapshot_and_reset();
+        let words: Vec<(usize, u64)> = snap.iter_hit_words().collect();
+        assert_eq!(words, vec![(0, 1), (9, 1)]);
+        assert!((snap.density() - 2.0 / 640.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_hits_matches_per_bit_scan() {
+        let mut cov = BlockCoverage::new(500);
+        for b in (0..500).step_by(13) {
+            cov.hit(b);
+        }
+        let snap = cov.snapshot_and_reset();
+        let sparse: Vec<u32> = snap.iter_hits().collect();
+        let dense: Vec<u32> = (0..500).filter(|b| snap.is_hit(*b)).collect();
+        assert_eq!(sparse, dense);
     }
 
     #[test]

@@ -35,10 +35,7 @@ impl ObsValue {
     pub fn distance(&self, other: &ObsValue) -> f64 {
         match (self, other) {
             (ObsValue::Num(a), ObsValue::Num(b)) => (a - b).abs(),
-            (ObsValue::Text(a), ObsValue::Text(b))
-                if a == b => {
-                    0.0
-                }
+            (ObsValue::Text(a), ObsValue::Text(b)) if a == b => 0.0,
             _ => f64::INFINITY,
         }
     }

@@ -93,7 +93,10 @@ pub fn run_factorial(design: &FactorialDesign, panel_size: usize, seed: u64) -> 
             .sum()
     };
     let (eta_a, eta_f) = if ss_total > 0.0 {
-        (ss_factor(&by_attr) / ss_total, ss_factor(&by_func) / ss_total)
+        (
+            ss_factor(&by_attr) / ss_total,
+            ss_factor(&by_func) / ss_total,
+        )
     } else {
         (0.0, 0.0)
     };

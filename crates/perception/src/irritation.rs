@@ -87,8 +87,7 @@ impl IrritationModel {
         let attribution = incident.attribution.factor();
         let frequency = self.frequency_factor(incident.frequency_per_week);
         let duration = self.duration_factor(incident.duration_s);
-        let raw = importance * attribution * frequency * duration * exposure
-            * group.sensitivity();
+        let raw = importance * attribution * frequency * duration * exposure * group.sensitivity();
         (raw * self.scale).min(10.0)
     }
 }

@@ -52,7 +52,10 @@ impl CheckpointStore {
 
     /// The most recent checkpoint for `unit`.
     pub fn latest(&self, unit: &str) -> Option<&Snapshot> {
-        self.per_unit.get(unit).and_then(|q| q.back()).map(|(_, s)| s)
+        self.per_unit
+            .get(unit)
+            .and_then(|q| q.back())
+            .map(|(_, s)| s)
     }
 
     /// The most recent checkpoint at or before `time`.
@@ -103,7 +106,10 @@ mod tests {
             store.save("u", SimTime::from_millis(i), snap(i as f64));
         }
         assert_eq!(store.count("u"), 2);
-        assert_eq!(store.at_or_before("u", SimTime::from_millis(3)).unwrap()["x"], 3.0);
+        assert_eq!(
+            store.at_or_before("u", SimTime::from_millis(3)).unwrap()["x"],
+            3.0
+        );
         // Oldest retained is 3: nothing at or before 2.
         assert!(store.at_or_before("u", SimTime::from_millis(2)).is_none());
     }

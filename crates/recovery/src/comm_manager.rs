@@ -113,7 +113,10 @@ impl CommManager {
                 None => match self.policy(&msg.to) {
                     RestartPolicy::Queue if host.status(&msg.to).is_some() => {
                         self.stats.queued += 1;
-                        self.pending.entry(msg.to.clone()).or_default().push_back(msg);
+                        self.pending
+                            .entry(msg.to.clone())
+                            .or_default()
+                            .push_back(msg);
                     }
                     _ => {
                         self.stats.dropped += 1;
@@ -174,9 +177,12 @@ mod tests {
     fn queue_policy_redelivers_after_restart() {
         let mut host = UnitHost::new();
         host.register(CounterUnit::new("a"));
-        host.set_status("a", UnitStatus::Restarting {
-            until: SimTime::from_millis(10),
-        });
+        host.set_status(
+            "a",
+            UnitStatus::Restarting {
+                until: SimTime::from_millis(10),
+            },
+        );
         let mut comm = CommManager::new(RestartPolicy::Queue);
         comm.send(SimTime::ZERO, &mut host, msg("a"));
         comm.send(SimTime::ZERO, &mut host, msg("a"));
@@ -192,9 +198,12 @@ mod tests {
     fn drop_policy_loses_messages() {
         let mut host = UnitHost::new();
         host.register(CounterUnit::new("a"));
-        host.set_status("a", UnitStatus::Restarting {
-            until: SimTime::from_millis(10),
-        });
+        host.set_status(
+            "a",
+            UnitStatus::Restarting {
+                until: SimTime::from_millis(10),
+            },
+        );
         let mut comm = CommManager::new(RestartPolicy::Drop);
         comm.send(SimTime::ZERO, &mut host, msg("a"));
         assert_eq!(comm.stats().dropped, 1);

@@ -47,7 +47,8 @@ impl LoadBalancer {
     /// Panics unless `0 < target_threshold < overload_threshold <= 1`.
     pub fn new(overload_threshold: f64, target_threshold: f64, cooldown_checks: u32) -> Self {
         assert!(
-            0.0 < target_threshold && target_threshold < overload_threshold
+            0.0 < target_threshold
+                && target_threshold < overload_threshold
                 && overload_threshold <= 1.0,
             "invalid thresholds"
         );

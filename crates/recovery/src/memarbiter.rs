@@ -84,7 +84,8 @@ impl AdaptiveArbiter {
                 continue;
             }
             let delta_mean = (stats.latency_sum - base_sum) / delta_req;
-            self.baseline.insert(port, (stats.requests, stats.latency_sum));
+            self.baseline
+                .insert(port, (stats.requests, stats.latency_sum));
             if delta_mean > target {
                 let w = self.weights.entry(port).or_insert(0);
                 if *w < self.max_weight {
@@ -120,7 +121,10 @@ mod tests {
         for k in 0..20u64 {
             arb.request(
                 SimTime::from_micros(k * 20),
-                MemoryRequest { port: PortId(1), bursts: 1 },
+                MemoryRequest {
+                    port: PortId(1),
+                    bursts: 1,
+                },
             );
         }
         assert!(arb.port_stats(PortId(1)).unwrap().mean_latency() > SimDuration::from_micros(15));
@@ -136,7 +140,13 @@ mod tests {
         let mut policy = AdaptiveArbiter::new(&ps, 4);
         policy.set_target(PortId(0), SimDuration::from_micros(1_000));
         let mut arb = MemoryArbiter::new(policy.table(), SimDuration::from_micros(10));
-        arb.request(SimTime::ZERO, MemoryRequest { port: PortId(0), bursts: 1 });
+        arb.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(0),
+                bursts: 1,
+            },
+        );
         assert!(!policy.adapt(&mut arb));
         assert_eq!(policy.adaptations(), 0);
     }
@@ -151,7 +161,10 @@ mod tests {
             for k in 0..10u64 {
                 arb.request(
                     SimTime::from_micros(round * 1_000 + k * 50),
-                    MemoryRequest { port: PortId(1), bursts: 1 },
+                    MemoryRequest {
+                        port: PortId(1),
+                        bursts: 1,
+                    },
                 );
             }
             policy.adapt(&mut arb);

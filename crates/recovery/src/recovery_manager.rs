@@ -64,7 +64,11 @@ impl RecoveryManager {
     /// # Panics
     ///
     /// Panics if any duration is zero.
-    pub fn new(unit_restart: SimDuration, full_restart: SimDuration, rollback: SimDuration) -> Self {
+    pub fn new(
+        unit_restart: SimDuration,
+        full_restart: SimDuration,
+        rollback: SimDuration,
+    ) -> Self {
         assert!(
             !unit_restart.is_zero() && !full_restart.is_zero() && !rollback.is_zero(),
             "recovery durations must be positive"
@@ -215,11 +219,18 @@ mod tests {
         host.deliver(SimTime::ZERO, &msg("a"));
         let mut rm = RecoveryManager::with_defaults();
         let outage = rm
-            .recover(SimTime::ZERO, &mut host, RecoveryAction::RestartUnit("a".into()))
+            .recover(
+                SimTime::ZERO,
+                &mut host,
+                RecoveryAction::RestartUnit("a".into()),
+            )
             .unwrap();
         assert_eq!(outage, SimDuration::from_millis(200));
         assert!(!host.is_running("a"));
-        assert!(host.is_running("b"), "partial recovery leaves peers running");
+        assert!(
+            host.is_running("b"),
+            "partial recovery leaves peers running"
+        );
         host.tick(SimTime::from_millis(200));
         assert!(host.is_running("a"));
         assert_eq!(rm.log().len(), 1);
@@ -264,7 +275,11 @@ mod tests {
         let mut host = host_with(&["a", "b", "c"]);
         let mut rm = RecoveryManager::with_defaults();
         let partial = rm
-            .recover(SimTime::ZERO, &mut host, RecoveryAction::RestartUnit("a".into()))
+            .recover(
+                SimTime::ZERO,
+                &mut host,
+                RecoveryAction::RestartUnit("a".into()),
+            )
             .unwrap();
         let full = rm
             .recover(SimTime::ZERO, &mut host, RecoveryAction::RestartAll)
@@ -280,7 +295,11 @@ mod tests {
     fn kill_unit_is_permanent() {
         let mut host = host_with(&["a"]);
         let mut rm = RecoveryManager::with_defaults();
-        rm.recover(SimTime::ZERO, &mut host, RecoveryAction::KillUnit("a".into()));
+        rm.recover(
+            SimTime::ZERO,
+            &mut host,
+            RecoveryAction::KillUnit("a".into()),
+        );
         assert_eq!(host.status("a"), Some(UnitStatus::Failed));
         host.tick(SimTime::from_secs(100));
         assert!(!host.is_running("a"));

@@ -92,10 +92,7 @@ impl UnitHost {
     /// Panics on a duplicate unit name.
     pub fn register(&mut self, unit: impl RecoverableUnit + 'static) {
         let name = unit.name().to_owned();
-        assert!(
-            !self.units.contains_key(&name),
-            "duplicate unit `{name}`"
-        );
+        assert!(!self.units.contains_key(&name), "duplicate unit `{name}`");
         self.units.insert(name.clone(), Box::new(unit));
         self.status.insert(name, UnitStatus::Running);
     }
@@ -162,8 +159,7 @@ impl UnitHost {
         self.units
             .values()
             .filter(|u| {
-                matches!(self.status.get(u.name()), Some(UnitStatus::Running))
-                    && !u.is_healthy()
+                matches!(self.status.get(u.name()), Some(UnitStatus::Running)) && !u.is_healthy()
             })
             .map(|u| u.name())
             .collect()
@@ -259,9 +255,12 @@ mod tests {
     fn restarting_unit_rejects_messages_until_tick() {
         let mut host = UnitHost::new();
         host.register(CounterUnit::new("audio"));
-        host.set_status("audio", UnitStatus::Restarting {
-            until: SimTime::from_millis(100),
-        });
+        host.set_status(
+            "audio",
+            UnitStatus::Restarting {
+                until: SimTime::from_millis(100),
+            },
+        );
         assert!(host.deliver(SimTime::ZERO, &msg("audio", "ping")).is_none());
         assert!(host.tick(SimTime::from_millis(50)).is_empty());
         let back = host.tick(SimTime::from_millis(100));

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use recovery::{
-    CircuitBreaker, CommManager, CounterUnit, EscalationPolicy, RecoveryAction,
-    RecoveryManager, RestartPolicy, UnitHost, UnitMessage,
+    CircuitBreaker, CommManager, CounterUnit, EscalationPolicy, RecoveryAction, RecoveryManager,
+    RestartPolicy, UnitHost, UnitMessage,
 };
 use simkit::{SimDuration, SimTime};
 

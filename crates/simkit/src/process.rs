@@ -144,7 +144,12 @@ impl<M> ProcessSet<M> {
     ///
     /// Returns `None` if `to` is not registered (message dropped), which is
     /// the behaviour of a killed unit in the recovery experiments.
-    pub fn dispatch(&mut self, now: SimTime, to: ProcessId, message: M) -> Option<Vec<Envelope<M>>> {
+    pub fn dispatch(
+        &mut self,
+        now: SimTime,
+        to: ProcessId,
+        message: M,
+    ) -> Option<Vec<Envelope<M>>> {
         let proc_ = self.procs.get_mut(&to)?;
         let mut outbox = Outbox::new();
         proc_.handle(now, message, &mut outbox);

@@ -181,15 +181,33 @@ mod tests {
     #[test]
     fn transfer_time_matches_bandwidth() {
         let mut bus = Bus::new(1_000_000); // 1 MB/s
-        let g = bus.request(SimTime::ZERO, BusRequest { port: PortId(0), bytes: 500_000 });
+        let g = bus.request(
+            SimTime::ZERO,
+            BusRequest {
+                port: PortId(0),
+                bytes: 500_000,
+            },
+        );
         assert_eq!(g.completion, SimTime::from_millis(500));
     }
 
     #[test]
     fn back_to_back_transfers_queue() {
         let mut bus = Bus::new(1_000_000);
-        let g1 = bus.request(SimTime::ZERO, BusRequest { port: PortId(0), bytes: 100_000 });
-        let g2 = bus.request(SimTime::ZERO, BusRequest { port: PortId(1), bytes: 100_000 });
+        let g1 = bus.request(
+            SimTime::ZERO,
+            BusRequest {
+                port: PortId(0),
+                bytes: 100_000,
+            },
+        );
+        let g2 = bus.request(
+            SimTime::ZERO,
+            BusRequest {
+                port: PortId(1),
+                bytes: 100_000,
+            },
+        );
         assert_eq!(g1.completion, SimTime::from_millis(100));
         assert_eq!(g2.start, SimTime::from_millis(100));
         assert_eq!(g2.completion, SimTime::from_millis(200));
@@ -198,10 +216,19 @@ mod tests {
     #[test]
     fn idle_gap_resets_start() {
         let mut bus = Bus::new(1_000_000);
-        bus.request(SimTime::ZERO, BusRequest { port: PortId(0), bytes: 1_000 });
+        bus.request(
+            SimTime::ZERO,
+            BusRequest {
+                port: PortId(0),
+                bytes: 1_000,
+            },
+        );
         let g = bus.request(
             SimTime::from_millis(50),
-            BusRequest { port: PortId(0), bytes: 1_000 },
+            BusRequest {
+                port: PortId(0),
+                bytes: 1_000,
+            },
         );
         assert_eq!(g.start, SimTime::from_millis(50));
     }
@@ -210,15 +237,33 @@ mod tests {
     fn stolen_bandwidth_slows_transfers() {
         let mut bus = Bus::new(1_000_000);
         bus.set_stolen_fraction(0.5);
-        let g = bus.request(SimTime::ZERO, BusRequest { port: PortId(0), bytes: 100_000 });
+        let g = bus.request(
+            SimTime::ZERO,
+            BusRequest {
+                port: PortId(0),
+                bytes: 100_000,
+            },
+        );
         assert_eq!(g.completion, SimTime::from_millis(200));
     }
 
     #[test]
     fn stats_accumulate() {
         let mut bus = Bus::new(1_000_000);
-        bus.request(SimTime::ZERO, BusRequest { port: PortId(0), bytes: 1_000 });
-        bus.request(SimTime::ZERO, BusRequest { port: PortId(0), bytes: 2_000 });
+        bus.request(
+            SimTime::ZERO,
+            BusRequest {
+                port: PortId(0),
+                bytes: 1_000,
+            },
+        );
+        bus.request(
+            SimTime::ZERO,
+            BusRequest {
+                port: PortId(0),
+                bytes: 2_000,
+            },
+        );
         let s = bus.stats();
         assert_eq!(s.transfers, 2);
         assert_eq!(s.bytes, 3_000);
@@ -237,7 +282,13 @@ mod tests {
     #[test]
     fn utilization_saturated_is_one() {
         let mut bus = Bus::new(1_000_000);
-        bus.request(SimTime::ZERO, BusRequest { port: PortId(0), bytes: 1_000_000 });
+        bus.request(
+            SimTime::ZERO,
+            BusRequest {
+                port: PortId(0),
+                bytes: 1_000_000,
+            },
+        );
         assert!((bus.utilization(SimTime::from_secs(1)) - 1.0).abs() < 1e-9);
     }
 }

@@ -282,9 +282,8 @@ impl Cpu {
     /// released, or `None` when idle.
     pub fn next_completion(&self) -> Option<SimTime> {
         let job = self.current_job()?;
-        let wall = SimDuration::from_nanos(
-            (job.remaining.as_nanos() as f64 / self.speed).ceil() as u64,
-        );
+        let wall =
+            SimDuration::from_nanos((job.remaining.as_nanos() as f64 / self.speed).ceil() as u64);
         Some(self.now + wall)
     }
 
@@ -295,7 +294,12 @@ impl Cpu {
     ///
     /// Panics if `to` is before the processor's local time.
     pub fn advance_to(&mut self, to: SimTime) -> Vec<JobOutcome> {
-        assert!(to >= self.now, "cpu cannot rewind: now={} to={}", self.now, to);
+        assert!(
+            to >= self.now,
+            "cpu cannot rewind: now={} to={}",
+            self.now,
+            to
+        );
         let mut done = Vec::new();
         while self.now < to {
             let Some(idx) = self.highest_index() else {

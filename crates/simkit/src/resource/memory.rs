@@ -255,7 +255,13 @@ mod tests {
     fn own_slot_is_served_immediately() {
         let table = SlotTable::round_robin(&[PortId(0), PortId(1)]);
         let mut arb = MemoryArbiter::new(table, us(10));
-        let done = arb.request(SimTime::ZERO, MemoryRequest { port: PortId(0), bursts: 1 });
+        let done = arb.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(0),
+                bursts: 1,
+            },
+        );
         assert_eq!(done, at_us(10));
     }
 
@@ -264,7 +270,13 @@ mod tests {
         let table = SlotTable::round_robin(&[PortId(0), PortId(1)]);
         let mut arb = MemoryArbiter::new(table, us(10));
         // Port 1's slot is the second of the frame: [10us, 20us).
-        let done = arb.request(SimTime::ZERO, MemoryRequest { port: PortId(1), bursts: 1 });
+        let done = arb.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(1),
+                bursts: 1,
+            },
+        );
         assert_eq!(done, at_us(20));
     }
 
@@ -273,7 +285,13 @@ mod tests {
         let table = SlotTable::round_robin(&[PortId(0), PortId(1)]);
         let mut arb = MemoryArbiter::new(table, us(10));
         // Port 0 owns slots [0,10) and [20,30): 2 bursts finish at 30us.
-        let done = arb.request(SimTime::ZERO, MemoryRequest { port: PortId(0), bursts: 2 });
+        let done = arb.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(0),
+                bursts: 2,
+            },
+        );
         assert_eq!(done, at_us(30));
     }
 
@@ -281,8 +299,20 @@ mod tests {
     fn fifo_per_port() {
         let table = SlotTable::round_robin(&[PortId(0)]);
         let mut arb = MemoryArbiter::new(table, us(10));
-        let d1 = arb.request(SimTime::ZERO, MemoryRequest { port: PortId(0), bursts: 1 });
-        let d2 = arb.request(SimTime::ZERO, MemoryRequest { port: PortId(0), bursts: 1 });
+        let d1 = arb.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(0),
+                bursts: 1,
+            },
+        );
+        let d2 = arb.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(0),
+                bursts: 1,
+            },
+        );
         assert_eq!(d1, at_us(10));
         assert_eq!(d2, at_us(20));
     }
@@ -291,7 +321,13 @@ mod tests {
     fn unassigned_port_starves() {
         let table = SlotTable::round_robin(&[PortId(0)]);
         let mut arb = MemoryArbiter::new(table, us(10));
-        let done = arb.request(SimTime::ZERO, MemoryRequest { port: PortId(9), bursts: 1 });
+        let done = arb.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(9),
+                bursts: 1,
+            },
+        );
         assert_eq!(done, SimTime::MAX);
     }
 
@@ -306,7 +342,13 @@ mod tests {
         assert_eq!(arb.reconfigurations(), 1);
         // Port 1 now owns slots 1,2,3 of a 4-slot frame; a 3-burst request
         // issued at 0 completes at the end of slot 3 = 40us.
-        let done = arb.request(SimTime::ZERO, MemoryRequest { port: PortId(1), bursts: 3 });
+        let done = arb.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(1),
+                bursts: 3,
+            },
+        );
         assert_eq!(done, at_us(40));
     }
 
@@ -319,8 +361,20 @@ mod tests {
         let mut t_boost = SimTime::ZERO;
         for k in 0..50u64 {
             let now = SimTime::from_micros(k * 25);
-            t_fair = fair.request(now, MemoryRequest { port: PortId(1), bursts: 2 });
-            t_boost = boosted.request(now, MemoryRequest { port: PortId(1), bursts: 2 });
+            t_fair = fair.request(
+                now,
+                MemoryRequest {
+                    port: PortId(1),
+                    bursts: 2,
+                },
+            );
+            t_boost = boosted.request(
+                now,
+                MemoryRequest {
+                    port: PortId(1),
+                    bursts: 2,
+                },
+            );
         }
         let _ = (t_fair, t_boost);
         let mf = fair.port_stats(PortId(1)).unwrap().mean_latency();
@@ -332,7 +386,13 @@ mod tests {
     fn stats_track_max() {
         let table = SlotTable::round_robin(&[PortId(0), PortId(1)]);
         let mut arb = MemoryArbiter::new(table, us(10));
-        arb.request(SimTime::ZERO, MemoryRequest { port: PortId(1), bursts: 1 });
+        arb.request(
+            SimTime::ZERO,
+            MemoryRequest {
+                port: PortId(1),
+                bursts: 1,
+            },
+        );
         let st = arb.port_stats(PortId(1)).unwrap();
         assert_eq!(st.requests, 1);
         assert_eq!(st.latency_max, us(20));

@@ -39,7 +39,11 @@ impl SimRng {
     /// subsystems (so adding draws in one subsystem does not perturb
     /// another).
     pub fn derive(&self, stream: u64) -> SimRng {
-        SimRng::seed(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+        SimRng::seed(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(stream),
+        )
     }
 
     /// A uniform integer in `[lo, hi]` (inclusive).

@@ -124,7 +124,10 @@ impl SimDuration {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be >= 0, got {ms}");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be >= 0, got {ms}"
+        );
         SimDuration((ms * 1_000_000.0).round() as u64)
     }
 
@@ -331,7 +334,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_nanos(7)),
             Some(SimTime::from_nanos(7))

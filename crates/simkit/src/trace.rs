@@ -101,12 +101,7 @@ impl TraceLog {
     }
 
     /// Appends an entry, evicting the oldest if at capacity.
-    pub fn record(
-        &mut self,
-        time: SimTime,
-        category: TraceCategory,
-        message: impl Into<String>,
-    ) {
+    pub fn record(&mut self, time: SimTime, category: TraceCategory, message: impl Into<String>) {
         if !self.enabled {
             return;
         }
@@ -127,10 +122,7 @@ impl TraceLog {
     }
 
     /// Iterates over retained entries of one category.
-    pub fn iter_category(
-        &self,
-        category: TraceCategory,
-    ) -> impl Iterator<Item = &TraceEntry> + '_ {
+    pub fn iter_category(&self, category: TraceCategory) -> impl Iterator<Item = &TraceEntry> + '_ {
         self.entries.iter().filter(move |e| e.category == category)
     }
 

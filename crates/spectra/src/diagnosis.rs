@@ -1,8 +1,19 @@
-//! The end-to-end diagnoser: coverage snapshots + verdicts in, report out.
+//! The end-to-end diagnosers: coverage snapshots + verdicts in, report out.
+//!
+//! Two flavours:
+//!
+//! * [`Diagnoser`] — post-mortem, dense. Retains the full
+//!   [`SpectrumMatrix`] (the oracle layout) and ranks once at the end.
+//! * [`IncrementalDiagnoser`] — streaming. Folds each step into a
+//!   columnar [`CountsMatrix`] and re-ranks a bounded top-k window after
+//!   every appended step, so the awareness loop can diagnose *while
+//!   running* instead of after the fact.
 
+use crate::counts::CountsMatrix;
 use crate::matrix::SpectrumMatrix;
 use crate::report::DiagnosisReport;
 use crate::similarity::Coefficient;
+use crate::topk::{score_top_k, TopK};
 use observe::BlockSnapshot;
 
 /// Accumulates scenario steps and produces a [`DiagnosisReport`].
@@ -74,6 +85,126 @@ impl Diagnoser {
     }
 }
 
+/// A streaming diagnoser that re-ranks after every appended step.
+///
+/// Memory is O(blocks) — steps are folded into the columnar
+/// [`CountsMatrix`] and discarded — and each append re-scores the
+/// matrix through the sharded top-k scorer, so the current best
+/// suspects are always available mid-scenario:
+///
+/// ```
+/// use spectra::{Coefficient, IncrementalDiagnoser};
+///
+/// let mut diag = IncrementalDiagnoser::new(1000).with_top_k(3);
+/// diag.append_step([1, 2].iter().copied(), false);
+/// let top = diag.append_step([2, 7].iter().copied(), true);
+/// assert_eq!(top.prime_suspect(), Some(7)); // mid-run, after step 2
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalDiagnoser {
+    counts: CountsMatrix,
+    coefficient: Coefficient,
+    k: usize,
+    shards: usize,
+    current: TopK,
+}
+
+impl IncrementalDiagnoser {
+    /// Creates a streaming diagnoser over `n_blocks` blocks.
+    ///
+    /// Defaults: Ochiai (the coefficient the Trader work found most
+    /// effective), a top-10 window, and one scoring shard per available
+    /// hardware thread (capped at 8).
+    pub fn new(n_blocks: u32) -> Self {
+        let shards = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(8);
+        let (coefficient, k) = (Coefficient::Ochiai, 10);
+        IncrementalDiagnoser {
+            counts: CountsMatrix::new(n_blocks),
+            coefficient,
+            k,
+            shards,
+            current: TopK::empty(coefficient, k, n_blocks),
+        }
+    }
+
+    /// Sets the similarity coefficient.
+    pub fn with_coefficient(mut self, coefficient: Coefficient) -> Self {
+        self.coefficient = coefficient;
+        self.current = TopK::empty(coefficient, self.k, self.counts.n_blocks());
+        self
+    }
+
+    /// Sets the size of the maintained top-k window.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self.current = TopK::empty(self.coefficient, k, self.counts.n_blocks());
+        self
+    }
+
+    /// Sets the number of parallel scoring shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Appends one step (sparse hit ids) and re-ranks; returns the fresh
+    /// top-k window.
+    pub fn append_step(&mut self, hits: impl IntoIterator<Item = u32>, failed: bool) -> &TopK {
+        self.counts.add_step(hits, failed);
+        self.rerank()
+    }
+
+    /// Appends one step from a coverage snapshot and re-ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot covers a different number of blocks.
+    pub fn append_snapshot(&mut self, snapshot: &BlockSnapshot, failed: bool) -> &TopK {
+        self.counts.add_snapshot(snapshot, failed);
+        self.rerank()
+    }
+
+    fn rerank(&mut self) -> &TopK {
+        self.current = score_top_k(&self.counts, self.coefficient, self.k, self.shards);
+        &self.current
+    }
+
+    /// The current top-k window (empty before the first step).
+    pub fn top_k(&self) -> &TopK {
+        &self.current
+    }
+
+    /// The accumulated columnar counters.
+    pub fn counts(&self) -> &CountsMatrix {
+        &self.counts
+    }
+
+    /// Number of steps appended.
+    pub fn steps(&self) -> usize {
+        self.counts.steps()
+    }
+
+    /// Ranks *all* blocks and assembles a full report (O(blocks log
+    /// blocks) — intended for end-of-scenario summaries, not the
+    /// per-step hot path).
+    pub fn diagnose(&self) -> DiagnosisReport {
+        DiagnosisReport {
+            n_blocks: self.counts.n_blocks(),
+            steps: self.counts.steps(),
+            failing_steps: self.counts.failing_steps(),
+            blocks_touched: self.counts.blocks_touched(),
+            ranking: self.counts.rank(self.coefficient),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +247,54 @@ mod tests {
         assert_eq!(report.failing_steps, 1);
         assert_eq!(report.blocks_touched, 3);
         assert_eq!(report.ranking.entries()[0].block, 3);
+    }
+
+    #[test]
+    fn incremental_matches_dense_after_every_step() {
+        let steps: Vec<(Vec<u32>, bool)> = (0..15u32)
+            .map(|s| {
+                let mut hits: Vec<u32> = (0..200).filter(|b| (b * 3 + s * 7) % 11 == 0).collect();
+                let failed = s % 4 == 1;
+                if failed {
+                    hits.push(150);
+                }
+                hits.retain(|b| *b != 150 || failed);
+                (hits, failed)
+            })
+            .collect();
+        let mut dense = Diagnoser::new(200);
+        let mut inc = IncrementalDiagnoser::new(200).with_top_k(8).with_shards(3);
+        for (hits, failed) in &steps {
+            dense.record_hits(hits.iter().copied(), *failed);
+            let top = inc.append_step(hits.iter().copied(), *failed);
+            // After every step: window == dense oracle's top slice.
+            let oracle = dense.matrix().rank(Coefficient::Ochiai);
+            assert_eq!(top.entries(), oracle.top(8));
+        }
+        assert_eq!(inc.steps(), steps.len());
+        assert_eq!(inc.top_k().prime_suspect(), Some(150));
+        // Full report agrees with the dense diagnosis byte for byte.
+        assert_eq!(
+            inc.diagnose().ranking,
+            dense.diagnose(Coefficient::Ochiai).ranking
+        );
+    }
+
+    #[test]
+    fn incremental_snapshot_flow() {
+        let mut cov = BlockCoverage::new(500);
+        let mut inc = IncrementalDiagnoser::new(500)
+            .with_coefficient(Coefficient::Jaccard)
+            .with_top_k(2);
+        assert!(inc.top_k().entries().is_empty());
+        cov.hit(3);
+        cov.hit(4);
+        inc.append_snapshot(&cov.snapshot_and_reset(), false);
+        cov.hit(4);
+        cov.hit(99);
+        let top = inc.append_snapshot(&cov.snapshot_and_reset(), true);
+        assert_eq!(top.prime_suspect(), Some(99));
+        assert_eq!(inc.counts().blocks_touched(), 3);
+        assert_eq!(inc.diagnose().failing_steps, 1);
     }
 }

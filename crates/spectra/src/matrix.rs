@@ -1,6 +1,7 @@
 //! The spectrum matrix: block-hit rows per scenario step plus the error
 //! vector.
 
+use crate::counts::EMPTY_BLOCKS_MSG;
 use crate::ranking::Ranking;
 use crate::similarity::{Coefficient, Counts};
 use observe::BlockSnapshot;
@@ -11,6 +12,12 @@ use serde::{Deserialize, Serialize};
 /// Each *step* (e.g. the interval between two key presses) contributes one
 /// bitset row of hit blocks and one pass/fail verdict. Column statistics
 /// produce the per-block [`Counts`] that similarity coefficients score.
+///
+/// This dense row-retaining layout is the reproduction's **oracle**: it
+/// mirrors the paper's matrix literally and every other layout is tested
+/// against it. Memory is O(steps × blocks); for production-scale
+/// matrices use the streaming [`crate::CountsMatrix`] plus the sharded
+/// [`crate::score_top_k`] scorer, which reproduce its rankings exactly.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpectrumMatrix {
     n_blocks: u32,
@@ -26,7 +33,7 @@ impl SpectrumMatrix {
     ///
     /// Panics if `n_blocks` is zero.
     pub fn new(n_blocks: u32) -> Self {
-        assert!(n_blocks > 0, "need at least one block");
+        assert!(n_blocks > 0, "{}", EMPTY_BLOCKS_MSG);
         SpectrumMatrix {
             n_blocks,
             words_per_row: n_blocks.div_ceil(64) as usize,
@@ -58,9 +65,19 @@ impl SpectrumMatrix {
     /// Adds a step from an iterator of hit block ids.
     ///
     /// `failed` is the error detector's verdict for the step.
+    ///
+    /// An id `>= n_blocks` indicates instrumentation drift and trips a
+    /// debug assertion. Release builds saturate: the stray id is dropped
+    /// from the row (it cannot be attributed to any real block) and the
+    /// step is otherwise recorded normally.
     pub fn add_step(&mut self, hits: impl IntoIterator<Item = u32>, failed: bool) {
         let mut row = vec![0u64; self.words_per_row];
         for b in hits {
+            debug_assert!(
+                b < self.n_blocks,
+                "block id {b} out of range (n_blocks = {})",
+                self.n_blocks
+            );
             if b < self.n_blocks {
                 row[(b / 64) as usize] |= 1u64 << (b % 64);
             }
@@ -200,9 +217,25 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_hits_ignored() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_hits_debug_assert() {
+        let mut m = SpectrumMatrix::new(10);
+        m.add_step([99].iter().copied(), true);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn out_of_range_hits_saturate_in_release() {
         let mut m = SpectrumMatrix::new(10);
         m.add_step([99].iter().copied(), true);
         assert_eq!(m.blocks_touched(), 0);
+        assert_eq!(m.steps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = SpectrumMatrix::new(0);
     }
 }

@@ -57,8 +57,17 @@ impl Ranking {
     }
 
     /// The top `k` entries.
+    ///
+    /// This slice is the oracle the sharded scorer is tested against:
+    /// [`crate::score_top_k`] must reproduce it byte for byte for every
+    /// shard count (same descending-score, ascending-block-id order).
     pub fn top(&self, k: usize) -> &[RankingEntry] {
         &self.entries[..k.min(self.entries.len())]
+    }
+
+    /// Consumes the ranking, yielding its sorted entries.
+    pub fn into_entries(self) -> Vec<RankingEntry> {
+        self.entries
     }
 
     /// The mid-tie rank of `block` (1-based), or `None` if absent.

@@ -30,6 +30,11 @@ impl DiagnosisReport {
         self.ranking.rank_of(block)
     }
 
+    /// The `k` most suspicious blocks (what a developer inspects first).
+    pub fn top_suspects(&self, k: usize) -> &[crate::RankingEntry] {
+        self.ranking.top(k)
+    }
+
     /// Paper-style one-line summary.
     pub fn summary(&self) -> String {
         format!(

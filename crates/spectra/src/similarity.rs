@@ -23,6 +23,25 @@ pub struct Counts {
 }
 
 impl Counts {
+    /// Reconstructs full counts from the columnar accumulator's state:
+    /// the two *hit* cells plus the global step totals. This is the only
+    /// per-block state [`crate::CountsMatrix`] stores; the miss cells
+    /// are derived (`a01 = failing − a11`, `a00 = passing − a10`).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the hit cells do not exceed their totals.
+    #[inline]
+    pub fn from_columnar(a_ef: u32, a_ep: u32, failing_steps: u32, passing_steps: u32) -> Self {
+        debug_assert!(a_ef <= failing_steps && a_ep <= passing_steps);
+        Counts {
+            a11: a_ef,
+            a10: a_ep,
+            a01: failing_steps - a_ef,
+            a00: passing_steps - a_ep,
+        }
+    }
+
     /// Total failing steps.
     pub fn failures(&self) -> u32 {
         self.a11 + self.a01
@@ -183,6 +202,14 @@ mod tests {
         let cc = c(1, 2, 3, 4);
         assert_eq!(cc.failures(), 4);
         assert_eq!(cc.passes(), 6);
+    }
+
+    #[test]
+    fn columnar_reconstruction() {
+        let cc = Counts::from_columnar(2, 1, 5, 4);
+        assert_eq!(cc, c(2, 1, 3, 3));
+        assert_eq!(cc.failures(), 5);
+        assert_eq!(cc.passes(), 4);
     }
 
     #[test]

@@ -1,7 +1,49 @@
-//! Property-based tests of spectrum-matrix and ranking invariants.
+//! Property-based tests of spectrum-matrix and ranking invariants, and
+//! the equivalence suite for the scalable diagnosis engine: the
+//! streaming columnar [`CountsMatrix`] and the sharded top-k scorer
+//! must reproduce the dense [`SpectrumMatrix`] oracle exactly — same
+//! counts, same scores, same tie order — for every coefficient.
 
 use proptest::prelude::*;
-use spectra::{Coefficient, Ranking, SpectrumMatrix};
+use spectra::{
+    score_top_k, Coefficient, CountsMatrix, IncrementalDiagnoser, Ranking, SpectrumMatrix,
+};
+
+/// A generated scenario: per step, a de-duplicated in-range hit list
+/// plus a verdict. Small block counts keep score ties frequent, which
+/// is exactly the regime where ordering bugs hide.
+fn scenario_strategy(
+    n_blocks: u32,
+    max_steps: usize,
+) -> impl Strategy<Value = Vec<(Vec<u32>, bool)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u32..n_blocks, 0..(n_blocks as usize).min(24)),
+            any::<bool>(),
+        ),
+        1..max_steps,
+    )
+    .prop_map(|steps| {
+        steps
+            .into_iter()
+            .map(|(mut hits, failed)| {
+                hits.sort_unstable();
+                hits.dedup();
+                (hits, failed)
+            })
+            .collect()
+    })
+}
+
+fn build_both(n_blocks: u32, steps: &[(Vec<u32>, bool)]) -> (SpectrumMatrix, CountsMatrix) {
+    let mut dense = SpectrumMatrix::new(n_blocks);
+    let mut columnar = CountsMatrix::new(n_blocks);
+    for (hits, failed) in steps {
+        dense.add_step(hits.iter().copied(), *failed);
+        columnar.add_step(hits.iter().copied(), *failed);
+    }
+    (dense, columnar)
+}
 
 proptest! {
     /// Contingency counts always sum to the number of steps, for every
@@ -91,5 +133,79 @@ proptest! {
         let s1 = r.entries().iter().find(|e| e.block == 1).unwrap().score;
         prop_assert!(s0 >= s1, "perfect {s0} vs noisy {s1}");
         prop_assert!((s0 - 1.0).abs() < 1e-12);
+    }
+
+    /// Streaming columnar counts equal the dense oracle's counts for
+    /// every block, and the derived full rankings are byte-identical
+    /// for every coefficient.
+    #[test]
+    fn streaming_counts_equal_dense(steps in scenario_strategy(48, 24)) {
+        let (dense, columnar) = build_both(48, &steps);
+        prop_assert_eq!(dense.steps(), columnar.steps());
+        prop_assert_eq!(dense.failing_steps(), columnar.failing_steps());
+        prop_assert_eq!(dense.blocks_touched(), columnar.blocks_touched());
+        for b in 0..48u32 {
+            prop_assert_eq!(dense.counts(b), columnar.counts(b), "block {}", b);
+        }
+        for coef in Coefficient::ALL {
+            prop_assert_eq!(dense.rank(coef), columnar.rank(coef), "{}", coef);
+        }
+    }
+
+    /// Sharded top-k equals the dense full sort's top slice — exactly,
+    /// ties included — for every coefficient, shard count, and k.
+    #[test]
+    fn sharded_top_k_equals_full_sort(
+        steps in scenario_strategy(40, 16),
+        shards in 1usize..9,
+        k in 0usize..50
+    ) {
+        let (dense, columnar) = build_both(40, &steps);
+        for coef in Coefficient::ALL {
+            let oracle = dense.rank(coef);
+            let top = score_top_k(&columnar, coef, k, shards);
+            prop_assert_eq!(
+                top.entries(), oracle.top(k),
+                "coef={} shards={} k={}", coef, shards, k
+            );
+        }
+    }
+
+    /// The incremental diagnoser's window matches the dense oracle after
+    /// *every* appended step, not just at the end.
+    #[test]
+    fn incremental_window_tracks_dense(
+        steps in scenario_strategy(32, 12),
+        shards in 1usize..5
+    ) {
+        let mut dense = SpectrumMatrix::new(32);
+        let mut inc = IncrementalDiagnoser::new(32)
+            .with_top_k(6)
+            .with_shards(shards);
+        for (hits, failed) in &steps {
+            dense.add_step(hits.iter().copied(), *failed);
+            let window = inc.append_step(hits.iter().copied(), *failed).clone();
+            let oracle = dense.rank(Coefficient::Ochiai);
+            prop_assert_eq!(window.entries(), oracle.top(6));
+        }
+    }
+
+    /// Tie-handling: steps that hit *no* blocks leave every block tied at
+    /// score zero for hit-driven coefficients; the top-k must then be the
+    /// first k block ids in ascending order (the dense tie order).
+    #[test]
+    fn all_tied_ranking_is_block_id_order(
+        n_steps in 1usize..8,
+        shards in 1usize..5,
+        failed in any::<bool>()
+    ) {
+        let mut columnar = CountsMatrix::new(25);
+        for _ in 0..n_steps {
+            columnar.add_step(std::iter::empty(), failed);
+        }
+        let top = score_top_k(&columnar, Coefficient::Ochiai, 10, shards);
+        let blocks: Vec<u32> = top.entries().iter().map(|e| e.block).collect();
+        prop_assert_eq!(blocks, (0..10u32).collect::<Vec<_>>());
+        prop_assert!(top.entries().iter().all(|e| e.score == 0.0));
     }
 }

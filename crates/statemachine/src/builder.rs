@@ -282,7 +282,12 @@ impl MachineBuilder {
         target: impl Into<String>,
         configure: impl FnOnce(TransitionBuilder) -> TransitionBuilder,
     ) -> Self {
-        self.push_transition(source.into(), Trigger::After(delay), target.into(), configure)
+        self.push_transition(
+            source.into(),
+            Trigger::After(delay),
+            target.into(),
+            configure,
+        )
     }
 
     /// Adds an eventless transition, considered on every step.
@@ -314,10 +319,12 @@ impl MachineBuilder {
             }
         }
         let resolve = |name: &str, context: &'static str| -> Result<StateId, BuildError> {
-            ids.get(name).copied().ok_or_else(|| BuildError::UnknownState {
-                name: name.to_owned(),
-                context,
-            })
+            ids.get(name)
+                .copied()
+                .ok_or_else(|| BuildError::UnknownState {
+                    name: name.to_owned(),
+                    context,
+                })
         };
 
         // Resolve states.
@@ -401,7 +408,11 @@ mod tests {
 
     #[test]
     fn minimal_machine_builds() {
-        let m = MachineBuilder::new("m").state("a").initial("a").build().unwrap();
+        let m = MachineBuilder::new("m")
+            .state("a")
+            .initial("a")
+            .build()
+            .unwrap();
         assert_eq!(m.states().len(), 1);
         assert_eq!(m.initial(), StateId(0));
     }
@@ -472,7 +483,10 @@ mod tests {
 
     #[test]
     fn empty_machine_rejected() {
-        assert_eq!(MachineBuilder::new("m").build().unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            MachineBuilder::new("m").build().unwrap_err(),
+            BuildError::Empty
+        );
     }
 
     #[test]
@@ -515,6 +529,9 @@ mod tests {
             BuildError::DuplicateState("x".into()).to_string(),
             "duplicate state `x`"
         );
-        assert_eq!(BuildError::NoInitial.to_string(), "no top-level initial state declared");
+        assert_eq!(
+            BuildError::NoInitial.to_string(),
+            "no top-level initial state declared"
+        );
     }
 }

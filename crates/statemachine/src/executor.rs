@@ -561,8 +561,14 @@ mod tests {
             .state("q")
             .initial("p")
             .var("log", 0)
-            .entry("p", Action::Assign("log".into(), Expr::var("log").add(Expr::lit(1))))
-            .entry("c1", Action::Assign("log".into(), Expr::var("log").mul(Expr::lit(10))))
+            .entry(
+                "p",
+                Action::Assign("log".into(), Expr::var("log").add(Expr::lit(1))),
+            )
+            .entry(
+                "c1",
+                Action::Assign("log".into(), Expr::var("log").mul(Expr::lit(10))),
+            )
             .on("c1", "next", "c2", |t| t)
             .on("p", "leave", "q", |t| t)
             .build()
@@ -646,7 +652,10 @@ mod tests {
             .unwrap();
         let mut e = Executor::new(&m);
         e.start();
-        assert!(e.errors().iter().any(|s| s.contains("run-to-completion limit")));
+        assert!(e
+            .errors()
+            .iter()
+            .any(|s| s.contains("run-to-completion limit")));
     }
 
     #[test]
@@ -719,7 +728,10 @@ mod tests {
             .state("a")
             .initial("a")
             .var("entries", 0)
-            .entry("a", Action::Assign("entries".into(), Expr::var("entries").add(Expr::lit(1))))
+            .entry(
+                "a",
+                Action::Assign("entries".into(), Expr::var("entries").add(Expr::lit(1))),
+            )
             .on("a", "kick", "a", |t| t)
             .build()
             .unwrap();
@@ -753,7 +765,9 @@ mod tests {
             .state("a")
             .state("b")
             .initial("a")
-            .on("a", "go", "b", |t| t.guard(Expr::var("missing").gt(Expr::lit(0))))
+            .on("a", "go", "b", |t| {
+                t.guard(Expr::var("missing").gt(Expr::lit(0)))
+            })
             .build()
             .unwrap();
         let mut e = Executor::new(&m);

@@ -256,16 +256,38 @@ impl Expr {
             Expr::Le(a, b) => numeric_cmp("le", a, b, vars, event, |x, y| x <= y),
             Expr::Gt(a, b) => numeric_cmp("gt", a, b, vars, event, |x, y| x > y),
             Expr::Ge(a, b) => numeric_cmp("ge", a, b, vars, event, |x, y| x >= y),
-            Expr::Add(a, b) => arith("add", a, b, vars, event, |x, y| x + y, |x, y| {
-                x.checked_add(y)
-            }),
-            Expr::Sub(a, b) => arith("sub", a, b, vars, event, |x, y| x - y, |x, y| {
-                x.checked_sub(y)
-            }),
-            Expr::Mul(a, b) => arith("mul", a, b, vars, event, |x, y| x * y, |x, y| {
-                x.checked_mul(y)
-            }),
-            Expr::If { cond, then, otherwise } => {
+            Expr::Add(a, b) => arith(
+                "add",
+                a,
+                b,
+                vars,
+                event,
+                |x, y| x + y,
+                |x, y| x.checked_add(y),
+            ),
+            Expr::Sub(a, b) => arith(
+                "sub",
+                a,
+                b,
+                vars,
+                event,
+                |x, y| x - y,
+                |x, y| x.checked_sub(y),
+            ),
+            Expr::Mul(a, b) => arith(
+                "mul",
+                a,
+                b,
+                vars,
+                event,
+                |x, y| x * y,
+                |x, y| x.checked_mul(y),
+            ),
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let c = cond.eval(vars, event)?;
                 let b = c.as_bool().ok_or_else(|| type_err("if", &c))?;
                 if b {
@@ -331,7 +353,11 @@ impl Expr {
                 lo.referenced_vars(out);
                 hi.referenced_vars(out);
             }
-            Expr::If { cond, then, otherwise } => {
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 cond.referenced_vars(out);
                 then.referenced_vars(out);
                 otherwise.referenced_vars(out);
@@ -409,9 +435,9 @@ fn float_or_int(
     vars: &Vars,
     event: Option<&Event>,
 ) -> Value {
-    let all_int = [a, b, c].iter().all(|e| {
-        matches!(e.eval(vars, event), Ok(Value::Int(_)) | Ok(Value::Bool(_)))
-    });
+    let all_int = [a, b, c]
+        .iter()
+        .all(|e| matches!(e.eval(vars, event), Ok(Value::Int(_)) | Ok(Value::Bool(_))));
     if all_int && result.fract() == 0.0 {
         Value::Int(result as i64)
     } else {
@@ -472,7 +498,10 @@ mod tests {
         );
         // String equality.
         assert_eq!(
-            Expr::var("mode").eq(Expr::lit("tv")).eval(&v, None).unwrap(),
+            Expr::var("mode")
+                .eq(Expr::lit("tv"))
+                .eval(&v, None)
+                .unwrap(),
             Value::Bool(true)
         );
     }
@@ -531,7 +560,9 @@ mod tests {
         let v = vars();
         let e = Expr::var("flag").if_else(Expr::lit("yes"), Expr::lit("no"));
         assert_eq!(e.eval(&v, None).unwrap(), Value::Str("yes".into()));
-        let e = Expr::var("x").lt(Expr::lit(0)).if_else(Expr::lit(1), Expr::lit(2));
+        let e = Expr::var("x")
+            .lt(Expr::lit(0))
+            .if_else(Expr::lit(1), Expr::lit(2));
         assert_eq!(e.eval(&v, None).unwrap(), Value::Int(2));
         // Untaken branch is not evaluated.
         let e = Expr::lit(true).if_else(Expr::lit(1), Expr::var("missing"));

@@ -136,7 +136,11 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        let m = MachineBuilder::new("m").state("a").initial("a").build().unwrap();
+        let m = MachineBuilder::new("m")
+            .state("a")
+            .initial("a")
+            .build()
+            .unwrap();
         assert!(m.state_by_name("a").is_some());
         assert!(m.state_by_name("zz").is_none());
         assert_eq!(m.name(), "m");

@@ -224,7 +224,9 @@ mod tests {
                     .output("audio", Expr::var("level"))
             })
             .on("idle", "mute", "muted", |t| t.output_const("audio", 0))
-            .on("muted", "mute", "idle", |t| t.output("audio", Expr::var("level")))
+            .on("muted", "mute", "idle", |t| {
+                t.output("audio", Expr::var("level"))
+            })
             .build()
             .unwrap()
     }

@@ -80,7 +80,9 @@ mod tests {
         assert_eq!(leaf.initial_child(), None);
 
         let comp = State {
-            kind: StateKind::Composite { initial: StateId(1) },
+            kind: StateKind::Composite {
+                initial: StateId(1),
+            },
             ..leaf.clone()
         };
         assert!(comp.is_composite());

@@ -295,7 +295,10 @@ mod tests {
             .on("a", "go", "c", |t| t.guard(Expr::var("x").ne(Expr::lit(0))))
             .build()
             .unwrap();
-        assert!(!m.validate().iter().any(|i| i.message.contains("nondeterministic")));
+        assert!(!m
+            .validate()
+            .iter()
+            .any(|i| i.message.contains("nondeterministic")));
     }
 
     #[test]
@@ -303,7 +306,9 @@ mod tests {
         let m = MachineBuilder::new("m")
             .state("a")
             .initial("a")
-            .on("a", "go", "a", |t| t.guard(Expr::var("ghost").gt(Expr::lit(0))))
+            .on("a", "go", "a", |t| {
+                t.guard(Expr::var("ghost").gt(Expr::lit(0)))
+            })
             .build()
             .unwrap();
         assert!(m
@@ -349,7 +354,10 @@ mod tests {
             .after("a", SimDuration::ZERO, "b", |t| t)
             .build()
             .unwrap();
-        assert!(m.validate().iter().any(|i| i.message.contains("zero-delay")));
+        assert!(m
+            .validate()
+            .iter()
+            .any(|i| i.message.contains("zero-delay")));
     }
 
     #[test]

@@ -191,7 +191,9 @@ impl SyntheticCodeBank {
         let shared_space = self.n_blocks - shared_base;
         let mut x = (op.region() as u64 + 1).wrapping_mul(0x9E37_79B9);
         for _ in 0..120 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = shared_base + ((x >> 16) % shared_space as u64) as u32;
             cov.hit(b);
         }
@@ -272,7 +274,11 @@ mod tests {
         let fb = bank.teletext_fault_block();
         // Executes when the variant has the fault bit set…
         let mut cov = BlockCoverage::new(N_BLOCKS);
-        bank.execute(&mut cov, FirmwareOp::TeletextRender, 1 << SyntheticCodeBank::FAULT_BIT);
+        bank.execute(
+            &mut cov,
+            FirmwareOp::TeletextRender,
+            1 << SyntheticCodeBank::FAULT_BIT,
+        );
         assert!(cov.is_hit(fb), "fault block must execute with bit set");
         // …not when clear, and not on unrelated ops.
         let mut cov2 = BlockCoverage::new(N_BLOCKS);

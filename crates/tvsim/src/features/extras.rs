@@ -135,11 +135,7 @@ mod tests {
     use crate::faults::FaultSet;
     use observe::BlockCoverage;
 
-    fn with_ctx<R>(
-        now: SimTime,
-        faults: &FaultSet,
-        f: impl FnOnce(&mut FeatureCtx<'_>) -> R,
-    ) -> R {
+    fn with_ctx<R>(now: SimTime, faults: &FaultSet, f: impl FnOnce(&mut FeatureCtx<'_>) -> R) -> R {
         let mut cov = BlockCoverage::new(crate::blocks::N_BLOCKS);
         let bank = SyntheticCodeBank::default();
         let mut obs = Vec::new();

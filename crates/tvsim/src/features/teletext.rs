@@ -85,8 +85,7 @@ impl Teletext {
         }
         let faulty_branch_taken =
             self.page as u32 & (1 << crate::blocks::SyntheticCodeBank::FAULT_BIT) != 0;
-        let displayed = if ctx.faults.is_active(TvFault::TeletextRenderFault)
-            && faulty_branch_taken
+        let displayed = if ctx.faults.is_active(TvFault::TeletextRenderFault) && faulty_branch_taken
         {
             // The faulty block mangles the page register before display.
             ctx.hit(BlockMap::TELETEXT + 9);

@@ -121,7 +121,11 @@ mod tests {
         )
     }
 
-    fn run(v: &mut Volume, faults: &FaultSet, f: impl FnOnce(&mut Volume, &mut FeatureCtx<'_>)) -> Vec<observe::Observation> {
+    fn run(
+        v: &mut Volume,
+        faults: &FaultSet,
+        f: impl FnOnce(&mut Volume, &mut FeatureCtx<'_>),
+    ) -> Vec<observe::Observation> {
         let mut cov = BlockCoverage::new(crate::blocks::N_BLOCKS);
         let bank = SyntheticCodeBank::default();
         let mut obs = Vec::new();
@@ -174,7 +178,7 @@ mod tests {
         let mut v = Volume::new();
         run(&mut v, &faults, |v, c| v.vol_up(c));
         assert_eq!(v.level(), 20); // unchanged
-        // vol_down still works (the fault is in the up path).
+                                   // vol_down still works (the fault is in the up path).
         run(&mut v, &faults, |v, c| v.vol_down(c));
         assert_eq!(v.level(), 15);
     }

@@ -72,11 +72,17 @@ pub enum AssemblyIssue {
 impl fmt::Display for AssemblyIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AssemblyIssue::UnboundRequirement { component, interface } => {
+            AssemblyIssue::UnboundRequirement {
+                component,
+                interface,
+            } => {
                 write!(f, "`{component}` requires `{interface}` but it is unbound")
             }
             AssemblyIssue::UnknownComponent(c) => write!(f, "binding references unknown `{c}`"),
-            AssemblyIssue::WrongProvider { provider, interface } => {
+            AssemblyIssue::WrongProvider {
+                provider,
+                interface,
+            } => {
                 write!(f, "`{provider}` does not provide `{interface}`")
             }
         }
@@ -201,7 +207,11 @@ impl Assembly {
 /// display, with teletext, audio, UI, EPG and platform services.
 pub fn tv_assembly() -> Assembly {
     Assembly::new()
-        .component(ComponentDecl::new("tuner", ["ITransportStream"], ["IMemory"]))
+        .component(ComponentDecl::new(
+            "tuner",
+            ["ITransportStream"],
+            ["IMemory"],
+        ))
         .component(ComponentDecl::new(
             "decoder",
             ["IVideoFrames", "IAudioSamples", "ITeletextData"],
@@ -212,7 +222,11 @@ pub fn tv_assembly() -> Assembly {
             ["ITeletextPages"],
             ["ITeletextData", "IMemory"],
         ))
-        .component(ComponentDecl::new("scaler", ["IScaledVideo"], ["IVideoFrames", "IMemory"]))
+        .component(ComponentDecl::new(
+            "scaler",
+            ["IScaledVideo"],
+            ["IVideoFrames", "IMemory"],
+        ))
         .component(ComponentDecl::new(
             "mixer",
             ["IScreen"],
@@ -220,9 +234,17 @@ pub fn tv_assembly() -> Assembly {
         ))
         .component(ComponentDecl::new("audio", ["ISound"], ["IAudioSamples"]))
         .component(ComponentDecl::new("ui", ["IOsd", "IUserInput"], ["IKeys"]))
-        .component(ComponentDecl::new("remote", ["IKeys"], Vec::<String>::new()))
+        .component(ComponentDecl::new(
+            "remote",
+            ["IKeys"],
+            Vec::<String>::new(),
+        ))
         .component(ComponentDecl::new("epg", ["IGuide"], ["ITransportStream"]))
-        .component(ComponentDecl::new("platform", ["IMemory"], Vec::<String>::new()))
+        .component(ComponentDecl::new(
+            "platform",
+            ["IMemory"],
+            Vec::<String>::new(),
+        ))
         .bind("tuner", "IMemory", "platform")
         .bind("decoder", "ITransportStream", "tuner")
         .bind("decoder", "IMemory", "platform")
@@ -268,7 +290,10 @@ mod tests {
         let a = Assembly::new().component(ComponentDecl::new("x", ["IA"], ["IB"]));
         let issues = a.validate();
         assert_eq!(issues.len(), 1);
-        assert!(matches!(issues[0], AssemblyIssue::UnboundRequirement { .. }));
+        assert!(matches!(
+            issues[0],
+            AssemblyIssue::UnboundRequirement { .. }
+        ));
     }
 
     #[test]

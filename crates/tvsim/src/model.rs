@@ -142,11 +142,7 @@ pub fn tv_spec_machine() -> Machine {
         });
 
     // Digits: OSD swallows; teletext page entry; direct tune.
-    let page_candidate = || {
-        Expr::var("td_acc")
-            .mul(Expr::lit(10))
-            .add(Expr::Payload)
-    };
+    let page_candidate = || Expr::var("td_acc").mul(Expr::lit(10)).add(Expr::Payload);
     let b = b
         .on("on", "digit", "on", |t| t.guard(osd_focused()))
         .on("on", "digit", "on", |t| {
@@ -302,7 +298,9 @@ pub fn tv_spec_machine() -> Machine {
             )
             .output("screen.mode", mode_expr())
         })
-        .on("on", "epg", "on", |t| t.guard(Expr::var("menu").eq(Expr::lit(1))))
+        .on("on", "epg", "on", |t| {
+            t.guard(Expr::var("menu").eq(Expr::lit(1)))
+        })
         .on("on", "epg", "on", |t| {
             t.assign(
                 "epg",
@@ -420,7 +418,10 @@ mod tests {
             e.step(&Event::with_payload("digit", d));
         }
         assert_eq!(e.last_output("teletext.page"), Some(&Value::Int(234)));
-        assert_eq!(e.last_output("screen.mode"), Some(&Value::Str("teletext".into())));
+        assert_eq!(
+            e.last_output("screen.mode"),
+            Some(&Value::Str("teletext".into()))
+        );
     }
 
     #[test]
@@ -450,7 +451,10 @@ mod tests {
         e.step(&Event::plain("vol_up"));
         e.step(&Event::plain("teletext"));
         e.step(&Event::plain("power"));
-        assert_eq!(e.last_output("screen.mode"), Some(&Value::Str("off".into())));
+        assert_eq!(
+            e.last_output("screen.mode"),
+            Some(&Value::Str("off".into()))
+        );
         e.step(&Event::plain("power"));
         // Volume persisted; teletext did not.
         assert_eq!(e.last_output("volume"), Some(&Value::Int(25)));
@@ -462,14 +466,20 @@ mod tests {
         let mut e = exec();
         e.step(&Event::plain("power"));
         e.step(&Event::plain("dual"));
-        assert_eq!(e.last_output("screen.mode"), Some(&Value::Str("dual".into())));
+        assert_eq!(
+            e.last_output("screen.mode"),
+            Some(&Value::Str("dual".into()))
+        );
         e.step(&Event::plain("teletext"));
         assert_eq!(
             e.last_output("screen.mode"),
             Some(&Value::Str("dual+teletext".into()))
         );
         e.step(&Event::plain("menu"));
-        assert_eq!(e.last_output("screen.mode"), Some(&Value::Str("menu".into())));
+        assert_eq!(
+            e.last_output("screen.mode"),
+            Some(&Value::Str("menu".into()))
+        );
         e.step(&Event::plain("back"));
         assert_eq!(
             e.last_output("screen.mode"),

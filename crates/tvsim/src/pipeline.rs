@@ -260,7 +260,13 @@ impl StreamingPipeline {
             let mut release = SimTime::from_nanos(t.as_nanos());
             while release < deadline {
                 if release >= start {
-                    self.cpus[b.cpu].release(release, b.task, b.wcet, b.priority, release + b.period);
+                    self.cpus[b.cpu].release(
+                        release,
+                        b.task,
+                        b.wcet,
+                        b.priority,
+                        release + b.period,
+                    );
                 }
                 release += b.period;
             }
@@ -326,7 +332,11 @@ impl StreamingPipeline {
                 self.quality_sum / self.frames_done as f64
             },
             cpu_utilization: self.cpu_loads(),
-            cpu_misses: self.cpus.iter().map(|c| c.stats().deadline_misses).collect(),
+            cpu_misses: self
+                .cpus
+                .iter()
+                .map(|c| c.stats().deadline_misses)
+                .collect(),
         }
     }
 }

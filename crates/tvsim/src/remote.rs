@@ -147,14 +147,14 @@ impl KeySequence {
     pub fn teletext_scenario(len: usize) -> Self {
         let mut keys = vec![Key::Power, Key::Digit(1)];
         let pattern = [
-            Key::Teletext,  // on, page 100
+            Key::Teletext, // on, page 100
             Key::Digit(1),
             Key::Digit(2),
             Key::Digit(3), // page 123
             Key::VolUp,
             Key::Digit(2),
             Key::Digit(1),
-            Key::Digit(1), // page 211
+            Key::Digit(1),  // page 211
             Key::ChannelUp, // re-acquire page 100
             Key::Digit(1),
             Key::Digit(0),
@@ -229,7 +229,10 @@ mod tests {
     fn random_scenario_is_deterministic() {
         let mut r1 = SimRng::seed(5);
         let mut r2 = SimRng::seed(5);
-        assert_eq!(KeySequence::random(50, &mut r1), KeySequence::random(50, &mut r2));
+        assert_eq!(
+            KeySequence::random(50, &mut r1),
+            KeySequence::random(50, &mut r2)
+        );
     }
 
     #[test]

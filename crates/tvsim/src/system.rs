@@ -473,7 +473,10 @@ mod tests {
         assert_eq!(tv.teletext().page(), 222);
         let obs = tv.press(SimTime::ZERO, Key::ChannelUp);
         assert_eq!(tv.teletext().page(), 100);
-        assert_eq!(last_output(&obs, "teletext.page"), Some(ObsValue::Num(100.0)));
+        assert_eq!(
+            last_output(&obs, "teletext.page"),
+            Some(ObsValue::Num(100.0))
+        );
         assert_eq!(tv.channel(), 2);
     }
 
@@ -525,13 +528,19 @@ mod tests {
         // branch is not taken, the page displays correctly.
         let obs = tv.press(SimTime::ZERO, Key::Teletext);
         assert!(!tv.take_coverage().is_hit(fault_block));
-        assert_eq!(last_output(&obs, "teletext.page"), Some(ObsValue::Num(100.0)));
+        assert_eq!(
+            last_output(&obs, "teletext.page"),
+            Some(ObsValue::Num(100.0))
+        );
         // Page 123 (bit 3 set): faulty branch executes and corrupts.
         tv.press(SimTime::ZERO, Key::Digit(1));
         tv.press(SimTime::ZERO, Key::Digit(2));
         let obs = tv.press(SimTime::ZERO, Key::Digit(3));
         assert!(tv.take_coverage().is_hit(fault_block));
-        assert_eq!(last_output(&obs, "teletext.page"), Some(ObsValue::Num(130.0)));
+        assert_eq!(
+            last_output(&obs, "teletext.page"),
+            Some(ObsValue::Num(130.0))
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ fn main() {
     for (name, arm) in [("closed", &outcome.closed), ("open", &outcome.open)] {
         println!(
             "{name:6} failures {}/{} | detected {} | repaired {} | latency {:?}",
-            arm.failure_steps, arm.steps, arm.detected_errors, arm.recoveries,
+            arm.failure_steps,
+            arm.steps,
+            arm.detected_errors,
+            arm.recoveries,
             arm.detection_latency,
         );
     }

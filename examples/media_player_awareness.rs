@@ -14,8 +14,10 @@ fn main() {
     println!();
     println!("paper: framework validated model-to-model; MPlayer experiments");
     println!("       investigate both correctness and performance issues.");
-    println!("here : aligned models raise {} errors over {} comparisons;",
-        report.model_to_model_errors, report.model_to_model_comparisons);
+    println!(
+        "here : aligned models raise {} errors over {} comparisons;",
+        report.model_to_model_errors, report.model_to_model_comparisons
+    );
     println!(
         "       the lost-pause fault raises {} errors (time-based comparison),",
         report.player_fault_errors

@@ -6,7 +6,9 @@
 //! cargo run --example stress_and_recovery
 //! ```
 
-use trader::experiments::{e11_memory_arbiter, e4_partial_recovery, e5_load_balancing, e6_cpu_eater};
+use trader::experiments::{
+    e11_memory_arbiter, e4_partial_recovery, e5_load_balancing, e6_cpu_eater,
+};
 
 fn main() {
     println!("{}", e4_partial_recovery::run());

@@ -16,9 +16,7 @@ fn main() {
     let report = e1_spectra::run(27);
     println!("{report}");
     println!();
-    println!(
-        "paper: 60 000 blocks, 27 key presses, 13 796 blocks executed, fault ranked #1"
-    );
+    println!("paper: 60 000 blocks, 27 key presses, 13 796 blocks executed, fault ranked #1");
     println!(
         "here : {} blocks, {} key presses, {} blocks executed, fault best-case rank #{} \
          (mid-tie {:.1}, wasted effort {:.4})",

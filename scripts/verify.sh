@@ -1,7 +1,10 @@
-#!/usr/bin/env sh
+#!/bin/sh
 # Tier-1 verification plus a chaos smoke: what CI runs on every change.
 set -eu
-cd "$(dirname "$0")/.."
+cd "$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)"
+
+echo "== format (rustfmt, check only) =="
+cargo fmt --all --check
 
 echo "== build (release) =="
 cargo build --release

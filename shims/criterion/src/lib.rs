@@ -56,7 +56,10 @@ impl Criterion {
 
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     /// Prints the closing line (the real crate prints a summary here).
@@ -74,7 +77,11 @@ pub struct BenchmarkGroup<'c> {
 impl BenchmarkGroup<'_> {
     /// Runs one benchmark: `f` receives a [`Bencher`] and calls
     /// [`Bencher::iter`] with the routine under measurement.
-    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let mut bencher = Bencher {
             warm_up_time: self.criterion.warm_up_time,
             measurement_time: self.criterion.measurement_time,

@@ -104,14 +104,20 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -138,7 +144,10 @@ pub mod collection {
 
     /// A strategy for vectors of `element` values.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -186,7 +195,9 @@ pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Boxes heterogeneous strategies into a uniform choice (used by
@@ -250,12 +261,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::core::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(concat!(
-                    "assumption failed: ",
-                    stringify!($cond)
-                )),
-            );
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
         }
     };
 }

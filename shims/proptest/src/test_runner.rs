@@ -14,14 +14,20 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { cases: 256, max_global_rejects: 65_536 }
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
     }
 }
 
 impl Config {
     /// A config running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
-        Config { cases, ..Config::default() }
+        Config {
+            cases,
+            ..Config::default()
+        }
     }
 }
 
@@ -63,7 +69,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        TestRng { s: [next(), next(), next(), next()] }
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// The next 64 random bits.
@@ -137,9 +145,7 @@ where
             Ok(Err(TestCaseError::Reject(reason))) => {
                 rejected += 1;
                 if rejected > config.max_global_rejects {
-                    panic!(
-                        "{name}: too many rejected cases ({rejected}); last reason: {reason}"
-                    );
+                    panic!("{name}: too many rejected cases ({rejected}); last reason: {reason}");
                 }
             }
             Ok(Err(TestCaseError::Fail(message))) => {

@@ -59,7 +59,10 @@ mod tests {
     fn derives_compile_and_traits_are_blanket() {
         assert_serialize::<Probe>();
         assert_serialize::<ProbeEnum>();
-        let p = Probe { x: 1, s: "ok".into() };
+        let p = Probe {
+            x: 1,
+            s: "ok".into(),
+        };
         assert_eq!(p.clone(), p);
     }
 }

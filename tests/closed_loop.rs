@@ -41,7 +41,10 @@ fn every_transient_fault_window_is_recovered() {
             "window at {start}: closed {closed_out:?} vs open {open_out:?}"
         );
         if open_out.failure_steps > 0 {
-            assert!(closed_out.recoveries > 0, "window at {start}: {closed_out:?}");
+            assert!(
+                closed_out.recoveries > 0,
+                "window at {start}: {closed_out:?}"
+            );
         }
     }
 }

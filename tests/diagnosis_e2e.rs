@@ -43,7 +43,10 @@ fn diagnose(fault: TvFault, presses: usize, target_block: u32) -> (usize, Option
     }
     let report = diagnoser.diagnose(Coefficient::Ochiai);
     let rank = report.fault_rank(target_block);
-    let best = report.ranking.best_case_rank_of(target_block).unwrap_or(usize::MAX);
+    let best = report
+        .ranking
+        .best_case_rank_of(target_block)
+        .unwrap_or(usize::MAX);
     (report.failing_steps, rank, best)
 }
 
@@ -112,7 +115,11 @@ fn healthy_run_has_no_failing_steps() {
 fn all_coefficients_put_fault_block_in_front_region() {
     let tv = TvSystem::new();
     let block = tv.bank().teletext_fault_block();
-    for coefficient in [Coefficient::Ochiai, Coefficient::Tarantula, Coefficient::Jaccard] {
+    for coefficient in [
+        Coefficient::Ochiai,
+        Coefficient::Tarantula,
+        Coefficient::Jaccard,
+    ] {
         let machine = tv_spec_machine();
         let mut oracle = Executor::new(&machine);
         oracle.start();

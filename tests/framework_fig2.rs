@@ -21,8 +21,7 @@ fn model_to_model_with_lossy_boundary() {
     let machine = tv_spec_machine();
     // Loss means missed comparisons; consecutive-deviation debouncing set
     // per the boundary characteristics.
-    let cfg = Configuration::new()
-        .with_default_spec(CompareSpec::exact().with_max_consecutive(3));
+    let cfg = Configuration::new().with_default_spec(CompareSpec::exact().with_max_consecutive(3));
     let mut monitor = MonitorBuilder::new(&machine)
         .configuration(cfg)
         .output_delay(SimDuration::from_millis(2))
@@ -41,7 +40,12 @@ fn model_to_model_with_lossy_boundary() {
             None => Event::plain(key.event_name()),
         };
         suo.step_at(*at, &event);
-        monitor.offer(&Observation::key_press(*at, "rc", key.event_name(), key.payload()));
+        monitor.offer(&Observation::key_press(
+            *at,
+            "rc",
+            key.event_name(),
+            key.payload(),
+        ));
         for out in suo.drain_outputs() {
             monitor.offer(&Observation::new(
                 *at,
@@ -101,7 +105,12 @@ fn unstable_states_suspend_comparison() {
         .build()
         .unwrap();
     let mut monitor = MonitorBuilder::new(&machine).build();
-    monitor.offer(&Observation::key_press(SimTime::from_millis(10), "rc", "go", None));
+    monitor.offer(&Observation::key_press(
+        SimTime::from_millis(10),
+        "rc",
+        "go",
+        None,
+    ));
     // While switching (unstable), a wildly wrong output is ignored.
     monitor.offer(&Observation::new(
         SimTime::from_millis(20),

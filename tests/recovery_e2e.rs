@@ -2,8 +2,8 @@
 
 use detect::{DeadlockDetector, Detector, WaitForGraph};
 use recovery::{
-    CommManager, CounterUnit, EscalationPolicy, RecoveryAction, RecoveryManager,
-    RestartPolicy, UnitHost, UnitMessage,
+    CommManager, CounterUnit, EscalationPolicy, RecoveryAction, RecoveryManager, RestartPolicy,
+    UnitHost, UnitMessage,
 };
 use simkit::{SimDuration, SimTime};
 use trader::faults::deadlock::cycle_edges;
@@ -112,7 +112,11 @@ fn rollback_preserves_checkpointed_state() {
         comm.send(SimTime::ZERO, &mut host, msg("epg"));
     }
     manager
-        .recover(SimTime::from_secs(1), &mut host, RecoveryAction::RollbackUnit("epg".into()))
+        .recover(
+            SimTime::from_secs(1),
+            &mut host,
+            RecoveryAction::RollbackUnit("epg".into()),
+        )
         .unwrap();
     host.tick(SimTime::from_secs(2));
     // Count rolled back to the checkpoint value 5 (not 8, not 0).
