@@ -6,6 +6,7 @@ use observe::ObsValue;
 use serde::{Deserialize, Serialize};
 use simkit::SimTime;
 use std::collections::BTreeMap;
+use telemetry::Telemetry;
 
 /// Counters describing comparator activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,6 +77,7 @@ pub struct Comparator {
     enabled: bool,
     degradation: DegradationKnobs,
     stats: ComparatorStats,
+    telemetry: Telemetry,
 }
 
 impl Comparator {
@@ -90,7 +92,15 @@ impl Comparator {
             enabled: true,
             degradation: DegradationKnobs::default(),
             stats: ComparatorStats::default(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle. Comparisons and deviations are
+    /// metrics-only (too frequent for the timeline); reported errors are
+    /// signal-level and land on the flight recorder too.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Applies (or, with [`DegradationKnobs::default`], removes) the
@@ -214,6 +224,8 @@ impl Comparator {
             _ => return None,
         };
         self.stats.comparisons += 1;
+        self.telemetry
+            .metric_incr("awareness.comparator.comparisons", 1);
         let deviation = expected.distance(&actual);
         let threshold = if self.degradation.threshold_scale > 1.0 {
             // Exact specs get an absolute slack of 0.5 per unit of scale
@@ -233,12 +245,15 @@ impl Comparator {
             return None;
         }
         self.stats.deviations += 1;
+        self.telemetry
+            .metric_incr("awareness.comparator.deviations", 1);
         let count = self.consecutive.entry(name.to_owned()).or_insert(0);
         *count += 1;
         if *count > max_consecutive {
             let consecutive = *count;
             self.consecutive.insert(name.to_owned(), 0);
             self.stats.errors += 1;
+            self.telemetry.count(now, "awareness.comparator.errors", 1);
             Some(DetectedError {
                 time: now,
                 observable: name.to_owned(),

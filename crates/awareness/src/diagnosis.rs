@@ -14,7 +14,9 @@
 //! candidates are already available, mid-run.
 
 use observe::BlockSnapshot;
+use simkit::SimTime;
 use spectra::{Coefficient, IncrementalDiagnoser, RankingEntry, TopK};
+use telemetry::Telemetry;
 
 /// Parameters for in-loop diagnosis.
 #[derive(Debug, Clone)]
@@ -71,6 +73,7 @@ pub struct OnlineDiagnosis {
     errors_at_last_step: u64,
     failing_steps: usize,
     triggered: u64,
+    telemetry: Telemetry,
 }
 
 impl OnlineDiagnosis {
@@ -84,19 +87,33 @@ impl OnlineDiagnosis {
             errors_at_last_step: 0,
             failing_steps: 0,
             triggered: 0,
+            telemetry: Telemetry::off(),
         }
     }
 
-    /// Folds one step's coverage in. `errors_total` is the monitor's
-    /// monotonic detection counter; the step fails iff it advanced since
-    /// the previous step.
-    pub(crate) fn record(&mut self, snapshot: &BlockSnapshot, errors_total: u64) {
+    /// Attaches a telemetry handle (step counts, triggered re-ranks, and
+    /// the current prime suspect as a gauge).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Folds one step's coverage in at monitor time `now`. `errors_total`
+    /// is the monitor's monotonic detection counter; the step fails iff
+    /// it advanced since the previous step.
+    pub(crate) fn record(&mut self, now: SimTime, snapshot: &BlockSnapshot, errors_total: u64) {
         let failed = errors_total > self.errors_at_last_step;
         self.errors_at_last_step = errors_total;
         self.diagnoser.append_snapshot(snapshot, failed);
+        self.telemetry.metric_incr("awareness.diagnosis.steps", 1);
         if failed {
             self.failing_steps += 1;
             self.triggered += 1;
+            self.telemetry
+                .count(now, "awareness.diagnosis.triggered", 1);
+            if let Some(block) = self.diagnoser.top_k().prime_suspect() {
+                self.telemetry
+                    .gauge(now, "awareness.diagnosis.prime_suspect", i64::from(block));
+            }
         }
     }
 
@@ -149,10 +166,10 @@ mod tests {
 
         cov.hit(1);
         cov.hit(2);
-        diag.record(&cov.snapshot_and_reset(), 0); // no new errors: pass
+        diag.record(SimTime::ZERO, &cov.snapshot_and_reset(), 0); // no new errors: pass
         cov.hit(2);
         cov.hit(7);
-        diag.record(&cov.snapshot_and_reset(), 1); // counter advanced: fail
+        diag.record(SimTime::ZERO, &cov.snapshot_and_reset(), 1); // counter advanced: fail
         assert_eq!(diag.steps(), 2);
         assert_eq!(diag.failing_steps(), 1);
         assert_eq!(diag.triggered_diagnoses(), 1);
@@ -161,7 +178,7 @@ mod tests {
         // Counter unchanged: next step passes even though errors existed
         // earlier in the run.
         cov.hit(1);
-        diag.record(&cov.snapshot_and_reset(), 1);
+        diag.record(SimTime::ZERO, &cov.snapshot_and_reset(), 1);
         assert_eq!(diag.failing_steps(), 1);
         assert_eq!(diag.steps(), 3);
         assert_eq!(diag.top_suspects()[0].block, 7);

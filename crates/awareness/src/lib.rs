@@ -52,5 +52,5 @@ pub use message::Message;
 pub use model_executor::ModelExecutor;
 pub use monitor::{AwarenessMonitor, MonitorBuilder};
 pub use observers::{InputObserver, OutputObserver};
-pub use reliable::{BoundaryChannel, ReliableChannel, ReliableConfig, ReliableStats};
+pub use reliable::{BoundaryChannel, ProbeNames, ReliableChannel, ReliableConfig, ReliableStats};
 pub use supervisor::{DegradationMode, Supervisor, SupervisorConfig, SupervisorReport};

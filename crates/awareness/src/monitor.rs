@@ -9,13 +9,14 @@ use crate::error::DetectedError;
 use crate::message::Message;
 use crate::model_executor::ModelExecutor;
 use crate::observers::{InputObserver, OutputObserver};
-use crate::reliable::{BoundaryChannel, ReliableChannel, ReliableStats};
+use crate::reliable::{BoundaryChannel, ProbeNames, ReliableChannel, ReliableStats};
 use crate::supervisor::{
     DegradationMode, Supervisor, SupervisorAction, SupervisorConfig, SupervisorReport,
 };
 use observe::Observation;
 use simkit::{SimDuration, SimTime};
 use statemachine::Machine;
+use telemetry::Telemetry;
 
 /// Builds an [`AwarenessMonitor`].
 ///
@@ -50,6 +51,7 @@ pub struct MonitorBuilder<'m> {
     reliable: bool,
     supervision: Option<SupervisorConfig>,
     diagnosis: Option<DiagnosisConfig>,
+    telemetry: Telemetry,
 }
 
 impl<'m> MonitorBuilder<'m> {
@@ -66,7 +68,17 @@ impl<'m> MonitorBuilder<'m> {
             reliable: false,
             supervision: None,
             diagnosis: None,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle: comparator, supervisor, diagnosis,
+    /// and reliable-channel events all land on the shared flight
+    /// recorder and metrics registry. The default ([`Telemetry::off`])
+    /// leaves every probe a near-zero-cost no-op.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Sets the comparator configuration.
@@ -142,8 +154,9 @@ impl<'m> MonitorBuilder<'m> {
         loss: f64,
         seed: u64,
         reliable: bool,
+        telemetry: &Telemetry,
     ) -> (BoundaryChannel<Message>, BoundaryChannel<Message>) {
-        if reliable {
+        let (mut input, mut output) = if reliable {
             let mk = |delay: SimDuration, loss: f64, stream: u64| {
                 let mut wire = DelayChannel::new(delay);
                 let mut acks = DelayChannel::new(delay);
@@ -176,7 +189,10 @@ impl<'m> MonitorBuilder<'m> {
                 BoundaryChannel::Delay(input_channel),
                 BoundaryChannel::Delay(output_channel),
             )
-        }
+        };
+        input.set_telemetry(telemetry.clone(), ProbeNames::INPUT);
+        output.set_telemetry(telemetry.clone(), ProbeNames::OUTPUT);
+        (input, output)
     }
 
     /// Assembles and starts the monitor.
@@ -188,12 +204,24 @@ impl<'m> MonitorBuilder<'m> {
             self.loss,
             self.seed,
             self.reliable,
+            &self.telemetry,
         );
         let mut controller = Controller::new();
         controller.start(SimTime::ZERO);
         let model = ModelExecutor::new(self.machine);
         let mut comparator = Comparator::new(self.configuration);
         comparator.set_enabled(model.compare_enabled());
+        comparator.set_telemetry(self.telemetry.clone());
+        let supervisor = self.supervision.map(|config| {
+            let mut s = Supervisor::new(config);
+            s.set_telemetry(self.telemetry.clone());
+            s
+        });
+        let diagnosis = self.diagnosis.as_ref().map(|config| {
+            let mut d = OnlineDiagnosis::new(config);
+            d.set_telemetry(self.telemetry.clone());
+            d
+        });
         AwarenessMonitor {
             machine: self.machine,
             input_observer: InputObserver::over(input_channel),
@@ -201,13 +229,14 @@ impl<'m> MonitorBuilder<'m> {
             model,
             comparator,
             controller,
-            supervisor: self.supervision.map(Supervisor::new),
-            diagnosis: self.diagnosis.as_ref().map(OnlineDiagnosis::new),
+            supervisor,
+            diagnosis,
             errors_total: 0,
             channel_params: (self.input_delay, self.output_delay, self.jitter, self.loss),
             channel_seed: self.seed,
             channel_epoch: 0,
             reliable: self.reliable,
+            telemetry: self.telemetry,
             now: SimTime::ZERO,
         }
     }
@@ -234,6 +263,7 @@ pub struct AwarenessMonitor<'m> {
     channel_seed: u64,
     channel_epoch: u64,
     reliable: bool,
+    telemetry: Telemetry,
     now: SimTime,
 }
 
@@ -320,6 +350,8 @@ impl<'m> AwarenessMonitor<'m> {
         };
         let backlog =
             self.input_observer.channel().in_flight() + self.output_observer.channel().in_flight();
+        self.telemetry
+            .metric_gauge("awareness.monitor.backlog", backlog as i64);
         let actions = supervisor.observe(now, backlog);
         for action in actions {
             match action {
@@ -364,12 +396,18 @@ impl<'m> AwarenessMonitor<'m> {
             self.channel_seed
                 .wrapping_add(self.channel_epoch.wrapping_mul(0x9E37_79B9)),
             self.reliable,
+            // Rebuilt channels inherit the same probes — a restart must
+            // not silence the boundary.
+            &self.telemetry,
         );
         *self.input_observer.channel_mut() = input;
         *self.output_observer.channel_mut() = output;
+        self.telemetry
+            .count(self.now, "awareness.monitor.channel_restarts", 1);
     }
 
     fn handle_message(&mut self, at: SimTime, msg: Message) {
+        self.telemetry.metric_incr("awareness.monitor.messages", 1);
         match msg {
             Message::Input { event, payload } => {
                 let expected = self.model.on_input(at, &event, payload);
@@ -405,8 +443,9 @@ impl<'m> AwarenessMonitor<'m> {
     /// window ([`OnlineDiagnosis::top_suspects`]).
     pub fn record_coverage(&mut self, snapshot: &observe::BlockSnapshot) {
         let errors_total = self.errors_total;
+        let now = self.now;
         if let Some(diag) = self.diagnosis.as_mut() {
-            diag.record(snapshot, errors_total);
+            diag.record(now, snapshot, errors_total);
         }
     }
 

@@ -28,6 +28,52 @@
 use crate::channel::DelayChannel;
 use simkit::{SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
+use telemetry::Telemetry;
+
+/// Telemetry names for one protocol instance, so the monitor's input,
+/// output, and timer channels stay distinguishable in a flight-recorder
+/// dump (names must be `&'static str` — recording never allocates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeNames {
+    /// Counter event per retransmission (signal-level: each one is a
+    /// symptom of wire trouble worth a timeline entry).
+    pub retransmits: &'static str,
+    /// Metric-only counter of frames dropped by forward-wire loss.
+    pub wire_lost: &'static str,
+    /// Metric-only counter of deduplicated frames.
+    pub duplicates: &'static str,
+    /// Counter event per reorder-buffer overflow drop.
+    pub reorder_dropped: &'static str,
+    /// Metric-only counter of wire transmissions (first + retries).
+    pub transmissions: &'static str,
+}
+
+impl ProbeNames {
+    /// Names for a channel whose role is unknown.
+    pub const DEFAULT: ProbeNames = ProbeNames {
+        retransmits: "awareness.reliable.retransmits",
+        wire_lost: "awareness.reliable.wire_lost",
+        duplicates: "awareness.reliable.duplicates",
+        reorder_dropped: "awareness.reliable.reorder_dropped",
+        transmissions: "awareness.reliable.transmissions",
+    };
+    /// Names for the observer → monitor input channel.
+    pub const INPUT: ProbeNames = ProbeNames {
+        retransmits: "awareness.reliable.input.retransmits",
+        wire_lost: "awareness.reliable.input.wire_lost",
+        duplicates: "awareness.reliable.input.duplicates",
+        reorder_dropped: "awareness.reliable.input.reorder_dropped",
+        transmissions: "awareness.reliable.input.transmissions",
+    };
+    /// Names for the monitor → SUO output channel.
+    pub const OUTPUT: ProbeNames = ProbeNames {
+        retransmits: "awareness.reliable.output.retransmits",
+        wire_lost: "awareness.reliable.output.wire_lost",
+        duplicates: "awareness.reliable.output.duplicates",
+        reorder_dropped: "awareness.reliable.output.reorder_dropped",
+        transmissions: "awareness.reliable.output.transmissions",
+    };
+}
 
 /// A sequenced payload on the forward wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +179,8 @@ pub struct ReliableChannel<T> {
     next_expected: u64,
     reorder: BTreeMap<u64, T>,
     stats: ReliableStats,
+    telemetry: Telemetry,
+    probe: ProbeNames,
 }
 
 impl<T: Clone> ReliableChannel<T> {
@@ -191,7 +239,16 @@ impl<T: Clone> ReliableChannel<T> {
             next_expected: 0,
             reorder: BTreeMap::new(),
             stats: ReliableStats::default(),
+            telemetry: Telemetry::off(),
+            probe: ProbeNames::DEFAULT,
         }
+    }
+
+    /// Attaches a telemetry handle; `probe` picks the channel-role names
+    /// that will appear in metrics and flight-recorder dumps.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, probe: ProbeNames) {
+        self.telemetry = telemetry;
+        self.probe = probe;
     }
 
     /// Convenience constructor: both wires share `base_delay`, `jitter`,
@@ -223,6 +280,7 @@ impl<T: Clone> ReliableChannel<T> {
         self.next_seq += 1;
         self.stats.accepted += 1;
         self.stats.transmissions += 1;
+        self.telemetry.metric_incr(self.probe.transmissions, 1);
         let first = self.wire.send(
             now,
             Frame {
@@ -232,6 +290,7 @@ impl<T: Clone> ReliableChannel<T> {
         );
         if first.is_none() {
             self.stats.wire_lost += 1;
+            self.telemetry.metric_incr(self.probe.wire_lost, 1);
         }
         let rto = self.config.initial_rto;
         let due = now + self.jittered(rto);
@@ -295,6 +354,7 @@ impl<T: Clone> ReliableChannel<T> {
     fn receive(&mut self, at: SimTime, frame: Frame<T>, out: &mut Vec<(SimTime, T)>) {
         if frame.seq < self.next_expected || self.reorder.contains_key(&frame.seq) {
             self.stats.duplicates += 1;
+            self.telemetry.metric_incr(self.probe.duplicates, 1);
         } else if frame.seq == self.next_expected {
             self.release(at, frame.payload, out);
             while let Some(payload) = self.reorder.remove(&self.next_expected) {
@@ -308,6 +368,7 @@ impl<T: Clone> ReliableChannel<T> {
                 let newest = *self.reorder.keys().next_back().expect("non-empty");
                 self.reorder.remove(&newest);
                 self.stats.reorder_dropped += 1;
+                self.telemetry.count(at, self.probe.reorder_dropped, 1);
             }
         }
         // Cumulative ack: everything below `next_expected` has been
@@ -340,8 +401,11 @@ impl<T: Clone> ReliableChannel<T> {
             };
             self.stats.retransmits += 1;
             self.stats.transmissions += 1;
+            self.telemetry.count(t, self.probe.retransmits, 1);
+            self.telemetry.metric_incr(self.probe.transmissions, 1);
             if self.wire.send(t, Frame { seq, payload }).is_none() {
                 self.stats.wire_lost += 1;
+                self.telemetry.metric_incr(self.probe.wire_lost, 1);
             }
             let due = t + self.jittered(rto);
             self.unacked.get_mut(&seq).expect("still pending").due = due;
@@ -465,6 +529,14 @@ impl<T: Clone> BoundaryChannel<T> {
         match self {
             BoundaryChannel::Delay(ch) => ch.in_flight(),
             BoundaryChannel::Reliable(ch) => ch.in_flight(),
+        }
+    }
+
+    /// Attaches telemetry to the reliable protocol (no-op on the bare
+    /// wire, which has no protocol events to report).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, probe: ProbeNames) {
+        if let BoundaryChannel::Reliable(ch) = self {
+            ch.set_telemetry(telemetry, probe);
         }
     }
 

@@ -29,6 +29,7 @@ use crate::comparator::DegradationKnobs;
 use crate::config::CheckPriority;
 use recovery::{CircuitBreaker, EscalationPolicy, RecoveryAction};
 use simkit::{SimDuration, SimTime};
+use telemetry::Telemetry;
 
 /// How far the monitor has degraded, from healthy to safe mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -44,6 +45,16 @@ pub enum DegradationMode {
 }
 
 impl DegradationMode {
+    /// Stable lowercase label used in telemetry transitions.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradationMode::Normal => "normal",
+            DegradationMode::Relaxed => "relaxed",
+            DegradationMode::Shedding => "shedding",
+            DegradationMode::SafeMode => "safe_mode",
+        }
+    }
+
     /// The comparator adjustments this mode implies.
     pub fn knobs(self, config: &SupervisorConfig) -> DegradationKnobs {
         match self {
@@ -154,6 +165,7 @@ pub struct Supervisor {
     consecutive_anomalies: u32,
     mode: DegradationMode,
     report: SupervisorReport,
+    telemetry: Telemetry,
 }
 
 impl Supervisor {
@@ -167,7 +179,27 @@ impl Supervisor {
             consecutive_anomalies: 0,
             mode: DegradationMode::Normal,
             report: SupervisorReport::default(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle (mode transitions, stall/overload and
+    /// ladder-rung counters).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Switches mode, emitting the transition on the timeline.
+    fn set_mode(&mut self, now: SimTime, mode: DegradationMode) {
+        if self.mode != mode {
+            self.telemetry.transition(
+                now,
+                "awareness.supervisor.mode",
+                self.mode.label(),
+                mode.label(),
+            );
+        }
+        self.mode = mode;
     }
 
     /// The configuration in force.
@@ -215,9 +247,12 @@ impl Supervisor {
         let overloaded = backlog > self.config.overload_backlog;
         if stalled {
             self.report.stalls += 1;
+            self.telemetry.count(now, "awareness.supervisor.stalls", 1);
         }
         if overloaded {
             self.report.overloads += 1;
+            self.telemetry
+                .count(now, "awareness.supervisor.overloads", 1);
         }
         if !stalled && !overloaded {
             // Healthy assessment: heal the breaker, reset the ladder,
@@ -225,43 +260,53 @@ impl Supervisor {
             // above).
             self.breaker.record(now, true);
             self.consecutive_anomalies = 0;
-            self.mode = DegradationMode::Normal;
+            self.set_mode(now, DegradationMode::Normal);
             return Vec::new();
         }
         // Degrade first: overload sheds, a stall widens tolerances.
-        self.mode = if overloaded {
-            DegradationMode::Shedding
-        } else {
-            DegradationMode::Relaxed
-        };
+        self.set_mode(
+            now,
+            if overloaded {
+                DegradationMode::Shedding
+            } else {
+                DegradationMode::Relaxed
+            },
+        );
         self.consecutive_anomalies += 1;
         if !self.breaker.allows(now) {
-            return vec![self.enter_safe_mode()];
+            return vec![self.enter_safe_mode(now)];
         }
         self.breaker.record(now, false);
         if self.consecutive_anomalies == 1 {
             // First anomaly after a healthy spell: cheap resync only.
             self.report.retries += 1;
+            self.telemetry.count(now, "awareness.supervisor.retries", 1);
             return vec![SupervisorAction::Retry];
         }
         let unit = if stalled { "monitor-loop" } else { "boundary" };
         match self.escalation.decide(now, unit) {
             RecoveryAction::RestartAll => {
                 self.report.monitor_restarts += 1;
+                self.telemetry
+                    .count(now, "awareness.supervisor.monitor_restarts", 1);
                 vec![SupervisorAction::RestartMonitor]
             }
             // RestartUnit (and any future partial action) maps to the
             // channel-restart rung.
             _ => {
                 self.report.channel_restarts += 1;
+                self.telemetry
+                    .count(now, "awareness.supervisor.channel_restarts", 1);
                 vec![SupervisorAction::RestartChannels]
             }
         }
     }
 
-    fn enter_safe_mode(&mut self) -> SupervisorAction {
-        self.mode = DegradationMode::SafeMode;
+    fn enter_safe_mode(&mut self, now: SimTime) -> SupervisorAction {
+        self.set_mode(now, DegradationMode::SafeMode);
         self.report.safe_mode_entries += 1;
+        self.telemetry
+            .count(now, "awareness.supervisor.safe_mode_entries", 1);
         SupervisorAction::EnterSafeMode
     }
 

@@ -4,6 +4,7 @@ use awareness::SupervisorConfig;
 use faults::Schedule;
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimRng, SimTime};
+use telemetry::Telemetry;
 use trader::{LoopOutcome, TimedScenario, TvDependabilityLoop};
 use tvsim::TvFault;
 
@@ -141,10 +142,23 @@ impl CampaignSpec {
 
     /// Runs the closed loop, its open-loop twin, and the stress leg.
     pub fn run(&self) -> CampaignOutcome {
+        self.run_with(&Telemetry::off())
+    }
+
+    /// [`run`](Self::run) with a telemetry handle attached to the
+    /// closed arm (the open twin stays dark — it is the baseline the
+    /// paper's open-loop products represent, and instrumenting it would
+    /// skew the comparison). With a recording handle the campaign's
+    /// fault edges, detections, repairs, channel incidents, and
+    /// supervisor transitions all land in the flight recorder, ready
+    /// for a forensic dump if an invariant trips
+    /// ([`crate::forensics`]).
+    pub fn run_with(&self, telemetry: &Telemetry) -> CampaignOutcome {
         let scenario = self.scenario();
 
         let mut closed = TvDependabilityLoop::closed(self.seed);
         self.configure(&mut closed);
+        closed.set_telemetry(telemetry.clone());
         let closed = closed.run(&scenario);
 
         let mut open = TvDependabilityLoop::open(self.seed);

@@ -28,15 +28,24 @@
 //!    protocol abandons nothing (`lost == 0`).
 //! 6. **Stress sanity** — eaters measurably degrade their resource and
 //!    the injected wait-for cycle is detected.
+//!
+//! Running a campaign with a recording [`telemetry::Telemetry`] handle
+//! ([`CampaignSpec::run_with`]) arms a flight recorder on the closed
+//! arm; if an invariant then trips, [`forensics`] drains the newest
+//! events into the failure report as a JSONL timeline — the offending
+//! component's fault edges, detections, and restarts are in the dump
+//! itself, not just the reproducing seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod forensics;
 pub mod invariants;
 pub mod stress;
 
 pub use campaign::{CampaignOutcome, CampaignSpec, FaultPlan};
+pub use forensics::{assert_with_forensics, audit_with_forensics, ForensicReport};
 pub use invariants::{assert_invariants, check_invariants, detection_latency_bound};
 pub use stress::{StressOutcome, StressPlan};
 

@@ -17,6 +17,7 @@
 //! | E11 | §4.5    | adaptive memory arbitration |
 //! | E12 | §4.3    | real-time property monitoring |
 //! | E14 | §4.4    | streaming + sharded diagnosis scales past 60 000 blocks |
+//! | E15 | §4.1    | flight-recorder telemetry stays within the probe budget |
 //!
 //! Every module exposes a `run(...)` returning a serializable report with
 //! a `Display` rendering the paper-style table; `crates/bench` wraps each
@@ -27,6 +28,7 @@ pub mod e10_warning_priority;
 pub mod e11_memory_arbiter;
 pub mod e12_realtime_monitoring;
 pub mod e14_spectra_scale;
+pub mod e15_telemetry_overhead;
 pub mod e1_spectra;
 pub mod e2_comparator;
 pub mod e3_mode_consistency;

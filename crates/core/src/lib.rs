@@ -72,6 +72,7 @@ pub use recovery;
 pub use simkit;
 pub use spectra;
 pub use statemachine;
+pub use telemetry;
 pub use tvsim;
 
 /// Convenient imports for examples and experiment code.

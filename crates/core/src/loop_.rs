@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
 use statemachine::{Event, Executor, Machine, Value};
 use std::collections::BTreeMap;
+use telemetry::Telemetry;
 use tvsim::{tv_spec_machine, TvFault, TvSystem};
 
 use crate::scenario::TimedScenario;
@@ -84,6 +85,49 @@ impl LoopOutcome {
             self.failure_steps as f64 / self.steps as f64
         }
     }
+
+    /// A one-line human-readable consolidation of the outcome — the line
+    /// examples print instead of formatting fields ad hoc.
+    ///
+    /// Always present: `steps`, `failures` (with the percentage from
+    /// [`failure_ratio`](Self::failure_ratio)), `detected`, `recoveries`,
+    /// and `faults` (activation edges). Appended only when the
+    /// corresponding machinery ran: `latency` (first fault → first
+    /// detection), `channels` (sent/delivered/lost/in-flight, closed loop
+    /// only), `safe_mode` entries (supervision), and `diagnoses` with the
+    /// current `prime` suspect (online diagnosis).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut line = format!(
+            "steps={} failures={} ({:.1}%) detected={} recoveries={} faults={}",
+            self.steps,
+            self.failure_steps,
+            self.failure_ratio() * 100.0,
+            self.detected_errors,
+            self.recoveries,
+            self.fault_activations,
+        );
+        if let Some(latency) = self.detection_latency {
+            let _ = write!(line, " latency={latency}");
+        }
+        if let Some(ch) = &self.channels {
+            let _ = write!(
+                line,
+                " channels={}sent/{}delivered/{}lost/{}inflight",
+                ch.sent, ch.delivered, ch.lost, ch.in_flight
+            );
+        }
+        if self.safe_mode_entries > 0 {
+            let _ = write!(line, " safe_mode={}", self.safe_mode_entries);
+        }
+        if self.diagnoses_triggered > 0 {
+            let _ = write!(line, " diagnoses={}", self.diagnoses_triggered);
+            if let Some(prime) = self.top_suspects.first() {
+                let _ = write!(line, " prime={prime}");
+            }
+        }
+        line
+    }
 }
 
 /// Runs a [`TvSystem`] open- or closed-loop against a scenario.
@@ -99,6 +143,7 @@ pub struct TvDependabilityLoop {
     reliable: bool,
     supervision: Option<SupervisorConfig>,
     online_diagnosis_k: Option<usize>,
+    telemetry: Telemetry,
 }
 
 impl TvDependabilityLoop {
@@ -124,7 +169,16 @@ impl TvDependabilityLoop {
             reliable: false,
             supervision: None,
             online_diagnosis_k: None,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle, propagated into the monitor, its
+    /// channels, supervisor, and diagnoser. Loop-level step spans, fault
+    /// edges, and repair counts are stamped with the scenario's virtual
+    /// time, so a recording run drains to a deterministic timeline.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Schedules a fault.
@@ -190,7 +244,8 @@ impl TvDependabilityLoop {
                 .jitter(self.jitter)
                 .loss(self.loss)
                 .reliable(self.reliable)
-                .seed(self.seed);
+                .seed(self.seed)
+                .telemetry(self.telemetry.clone());
             if let Some(config) = self.supervision {
                 builder = builder.supervised(config);
             }
@@ -227,6 +282,7 @@ impl TvDependabilityLoop {
         let mut first_detect_at: Option<SimTime> = None;
 
         for (i, (at, key)) in scenario.presses().iter().enumerate() {
+            self.telemetry.span_enter(*at, "core.loop.step");
             // Fault schedule edges.
             for edge in self.injector.poll(*at, i as u64) {
                 match edge {
@@ -234,8 +290,14 @@ impl TvDependabilityLoop {
                         tv.inject_fault(f);
                         outcome.fault_activations += 1;
                         first_fault_at.get_or_insert(*at);
+                        self.telemetry
+                            .transition(*at, "core.loop.fault", "dormant", f.name());
                     }
-                    Transition::Deactivated(f) => tv.clear_fault(f),
+                    Transition::Deactivated(f) => {
+                        tv.clear_fault(f);
+                        self.telemetry
+                            .transition(*at, "core.loop.fault", f.name(), "dormant");
+                    }
                 }
             }
 
@@ -280,7 +342,10 @@ impl TvDependabilityLoop {
                 if n_errors > 0 {
                     outcome.detected_errors += n_errors;
                     first_detect_at.get_or_insert(settle);
+                    self.telemetry
+                        .count(settle, "core.loop.detections", n_errors as i64);
                 }
+                let recoveries_before = outcome.recoveries;
                 // Correction strategy: map errors to SUO repair actions.
                 let mut repair_obs: Vec<Observation> = Vec::new();
                 let mut resynced = false;
@@ -316,6 +381,10 @@ impl TvDependabilityLoop {
                     monitor.offer(obs);
                     let _ = mode_detector.observe(obs);
                 }
+                let repairs = (outcome.recoveries - recoveries_before) as i64;
+                if repairs > 0 {
+                    self.telemetry.count(settle, "core.loop.repairs", repairs);
+                }
                 if !repair_obs.is_empty() {
                     monitor.advance_to(settle + SimDuration::from_millis(5));
                     // Post-repair comparisons should now match; drop any
@@ -344,7 +413,17 @@ impl TvDependabilityLoop {
             });
             if deviates {
                 outcome.failure_steps += 1;
+                self.telemetry
+                    .metric_incr("core.loop.user_visible_failures", 1);
             }
+            // Close the step span after everything the step stamped (the
+            // closed-loop settle window reaches `at + 25 ms`).
+            let step_end = if self.closed {
+                *at + SimDuration::from_millis(25)
+            } else {
+                *at
+            };
+            self.telemetry.span_exit(step_end, "core.loop.step");
         }
 
         outcome.detection_latency = match (first_fault_at, first_detect_at) {
@@ -495,5 +574,99 @@ mod tests {
             top_suspects: Vec::new(),
         };
         assert!((o.failure_ratio() - 0.3).abs() < 1e-12);
+        let line = o.summary();
+        assert_eq!(
+            line,
+            "steps=10 failures=3 (30.0%) detected=0 recoveries=0 faults=0"
+        );
+    }
+
+    #[test]
+    fn summary_includes_optional_sections_when_present() {
+        let o = LoopOutcome {
+            steps: 30,
+            failure_steps: 1,
+            detected_errors: 4,
+            recoveries: 2,
+            detection_latency: Some(SimDuration::from_millis(20)),
+            fault_activations: 1,
+            channels: Some(ChannelAudit {
+                sent: 60,
+                delivered: 58,
+                lost: 0,
+                in_flight: 2,
+            }),
+            safe_mode_entries: 1,
+            diagnoses_triggered: 3,
+            top_suspects: vec![7, 40],
+        };
+        let line = o.summary();
+        assert!(line.contains("latency=20.000ms"), "{line}");
+        assert!(
+            line.contains("channels=60sent/58delivered/0lost/2inflight"),
+            "{line}"
+        );
+        assert!(line.contains("safe_mode=1"), "{line}");
+        assert!(line.contains("diagnoses=3 prime=7"), "{line}");
+    }
+
+    #[test]
+    fn recording_run_captures_fault_and_detection_timeline() {
+        let telemetry = Telemetry::recording(4096);
+        let mut looped = TvDependabilityLoop::closed(1);
+        looped.set_telemetry(telemetry.clone());
+        looped.schedule_fault(
+            Schedule::Between {
+                from: SimTime::from_millis(250),
+                to: SimTime::from_millis(350),
+            },
+            TvFault::TeletextSyncLoss,
+        );
+        let outcome = looped.run(&teletext_scenario());
+        assert!(outcome.detected_errors > 0);
+
+        let timeline = telemetry.events_jsonl();
+        assert!(
+            timeline.contains("\"core.loop.fault\""),
+            "fault edge missing"
+        );
+        assert!(
+            timeline.contains("teletext-sync-loss"),
+            "fault name missing"
+        );
+        assert!(
+            timeline.contains("core.loop.detections"),
+            "detections missing"
+        );
+        assert!(timeline.contains("core.loop.repairs"), "repairs missing");
+        // Every line is stamped with virtual time.
+        for line in timeline.lines() {
+            assert!(line.contains("\"clock\":\"virtual\""), "{line}");
+        }
+        let metrics = telemetry.snapshot_metrics();
+        assert!(metrics.counter("awareness.comparator.comparisons") > 0);
+        assert_eq!(
+            metrics.counter("core.loop.detections"),
+            outcome.detected_errors as i64
+        );
+    }
+
+    #[test]
+    fn same_seed_runs_drain_identical_timelines() {
+        let run = || {
+            let telemetry = Telemetry::recording(8192);
+            let mut looped = TvDependabilityLoop::closed(7);
+            looped.set_telemetry(telemetry.clone());
+            looped.schedule_fault(Schedule::Always, TvFault::MuteInversion);
+            looped.set_channel_loss(0.05);
+            looped.use_reliable(true);
+            let _ = looped.run(&teletext_scenario());
+            (telemetry.events_jsonl(), telemetry.metrics_json())
+        };
+        let (events_a, metrics_a) = run();
+        let (events_b, metrics_b) = run();
+        assert_eq!(events_a, events_b, "event timelines diverged");
+        assert_eq!(metrics_a, metrics_b, "metrics readouts diverged");
+        assert!(!events_a.is_empty());
     }
 }

@@ -35,7 +35,7 @@ pub use callstack::CallStackRecorder;
 pub use coverage::{BlockCoverage, BlockSnapshot};
 pub use load::LoadProbe;
 pub use observation::{ObsValue, Observation, ObservationKind};
-pub use overhead::OverheadAccount;
+pub use overhead::{BudgetVerdict, OverheadAccount, ProbeBudget};
 pub use probe::{ProbeId, ProbeRegistry};
 pub use range::{RangeProbe, RangeViolation};
 pub use ring::RingBuffer;

@@ -5,6 +5,7 @@ use crate::unit::{UnitHost, UnitStatus};
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
 use std::fmt;
+use telemetry::Telemetry;
 
 /// A recovery action (paper Sect. 4.5: "recovery actions such as killing
 /// and restarting units").
@@ -18,6 +19,18 @@ pub enum RecoveryAction {
     KillUnit(String),
     /// Restart the whole system (the classical, expensive fallback).
     RestartAll,
+}
+
+impl RecoveryAction {
+    /// A static label for telemetry events (no allocation).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryAction::RestartUnit(_) => "restart_unit",
+            RecoveryAction::RollbackUnit(_) => "rollback_unit",
+            RecoveryAction::KillUnit(_) => "kill_unit",
+            RecoveryAction::RestartAll => "restart_all",
+        }
+    }
 }
 
 impl fmt::Display for RecoveryAction {
@@ -56,6 +69,7 @@ pub struct RecoveryManager {
     checkpoints: CheckpointStore,
     log: Vec<RecoveryRecord>,
     total_outage: SimDuration,
+    telemetry: Telemetry,
 }
 
 impl RecoveryManager {
@@ -80,7 +94,14 @@ impl RecoveryManager {
             checkpoints: CheckpointStore::new(8),
             log: Vec::new(),
             total_outage: SimDuration::ZERO,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle (per-action transition events plus an
+    /// `outage_ns` histogram in virtual nanoseconds).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// A manager with the durations used in the recovery experiments:
@@ -116,6 +137,8 @@ impl RecoveryManager {
                 if let Some(unit) = host.unit(&name) {
                     let snap: Snapshot = unit.checkpoint();
                     self.checkpoints.save(&name, now, snap);
+                    self.telemetry
+                        .metric_incr("recovery.manager.checkpoints", 1);
                 }
             }
         }
@@ -181,6 +204,10 @@ impl RecoveryManager {
             }
         };
         self.total_outage += outage;
+        self.telemetry
+            .transition(now, "recovery.manager.action", "idle", action.label());
+        self.telemetry
+            .observe_ns("recovery.manager.outage_ns", outage.as_nanos());
         self.log.push(RecoveryRecord {
             time: now,
             action,

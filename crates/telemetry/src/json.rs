@@ -1,0 +1,249 @@
+//! Hand-rendered JSON: the workspace's single renderer.
+//!
+//! The workspace's serde is an offline no-op shim, so every machine-
+//! readable artifact — `BENCH_*.json` reports, flight-recorder JSONL
+//! dumps, metrics readouts — renders JSON by hand through this module
+//! (extracted from `bench::json`, which now re-exports it, so escaping
+//! logic exists exactly once). The value model is the minimal subset
+//! those files need; rendering is deterministic (object keys keep
+//! insertion order) so diffs between CI runs stay readable.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept separate from floats so counters render without
+    /// a decimal point).
+    Int(i64),
+    /// A float; non-finite values render as `null` per JSON's rules.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builder for an empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds/overwrites a field (objects only; panics otherwise).
+    pub fn field(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Object(fields) => {
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_owned(), value));
+                }
+                self
+            }
+            other => panic!("field() on non-object {other:?}"),
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => escape_into(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<u32> for Json {
+    fn from(i: u32) -> Json {
+        Json::Int(i64::from(i))
+    }
+}
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        Json::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+}
+
+/// Escapes `s` as a JSON string (with quotes) into `out`.
+///
+/// Multi-byte characters pass through unescaped — JSON is UTF-8 — while
+/// the two mandatory escapes (`"` and `\`), the common C0 shorthands,
+/// and the remaining control characters get their `\uXXXX` forms.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The workspace root (two levels up from this crate's manifest).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Writes `report` to `BENCH_<name>.json` at the workspace root and
+/// returns the path.
+pub fn write_bench_json(name: &str, report: &Json) -> io::Result<PathBuf> {
+    let path = workspace_root().join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, report.render() + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_report() {
+        let report = Json::object()
+            .field("experiment", "e14".into())
+            .field(
+                "cells",
+                Json::Array(vec![Json::object()
+                    .field("n_blocks", 60_000u32.into())
+                    .field("score_ms", 1.5f64.into())]),
+            )
+            .field("ok", true.into());
+        assert_eq!(
+            report.render(),
+            r#"{"experiment":"e14","cells":[{"n_blocks":60000,"score_ms":1.5}],"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_non_finite() {
+        let v = Json::object()
+            .field("s", "a\"b\\c\nd".into())
+            .field("inf", Json::Num(f64::INFINITY));
+        assert_eq!(v.render(), r#"{"s":"a\"b\\c\nd","inf":null}"#);
+    }
+
+    #[test]
+    fn escapes_all_control_characters() {
+        // Every C0 control character renders as an escape, never raw.
+        let all: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let rendered = Json::Str(all).render();
+        assert!(rendered.chars().all(|c| (c as u32) >= 0x20), "{rendered}");
+        // The shorthand escapes are used where JSON defines them.
+        assert!(rendered.contains("\\n") && rendered.contains("\\t") && rendered.contains("\\r"));
+        // The rest take the \u form, lowercase hex, zero-padded.
+        assert!(rendered.contains("\\u0000") && rendered.contains("\\u001f"));
+        assert_eq!(Json::Str("\u{7}".into()).render(), "\"\\u0007\"");
+    }
+
+    #[test]
+    fn non_ascii_keys_and_values_pass_through() {
+        // JSON is UTF-8: multi-byte keys/values need no escaping, and the
+        // renderer must not mangle them.
+        let v = Json::object()
+            .field("métrique.λ", "überwachung 監視".into())
+            .field("emoji", "🚦".into());
+        assert_eq!(
+            v.render(),
+            r#"{"métrique.λ":"überwachung 監視","emoji":"🚦"}"#
+        );
+    }
+
+    #[test]
+    fn keys_with_quotes_and_controls_are_escaped() {
+        let v = Json::object().field("a\"b\n", 1i64.into());
+        assert_eq!(v.render(), "{\"a\\\"b\\n\":1}");
+    }
+
+    #[test]
+    fn field_overwrites_existing_key() {
+        let v = Json::object()
+            .field("k", 1i64.into())
+            .field("k", 2i64.into());
+        assert_eq!(v.render(), r#"{"k":2}"#);
+    }
+
+    #[test]
+    fn workspace_root_holds_manifest() {
+        assert!(workspace_root().join("Cargo.toml").exists());
+    }
+}

@@ -35,6 +35,21 @@ pub enum TvFault {
 }
 
 impl TvFault {
+    /// A static name for telemetry events (matches the [`fmt::Display`]
+    /// form, but borrows for `'static` so recording never allocates).
+    pub fn name(self) -> &'static str {
+        match self {
+            TvFault::TeletextSyncLoss => "teletext-sync-loss",
+            TvFault::TeletextRenderFault => "teletext-render-fault",
+            TvFault::StuckVolume => "stuck-volume",
+            TvFault::ChannelSkip => "channel-skip",
+            TvFault::MenuFreeze => "menu-freeze",
+            TvFault::SleepTimerLost => "sleep-timer-lost",
+            TvFault::SwivelStuck => "swivel-stuck",
+            TvFault::MuteInversion => "mute-inversion",
+        }
+    }
+
     /// Every injectable fault.
     pub const ALL: [TvFault; 8] = [
         TvFault::TeletextSyncLoss,
@@ -50,17 +65,7 @@ impl TvFault {
 
 impl fmt::Display for TvFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TvFault::TeletextSyncLoss => "teletext-sync-loss",
-            TvFault::TeletextRenderFault => "teletext-render-fault",
-            TvFault::StuckVolume => "stuck-volume",
-            TvFault::ChannelSkip => "channel-skip",
-            TvFault::MenuFreeze => "menu-freeze",
-            TvFault::SleepTimerLost => "sleep-timer-lost",
-            TvFault::SwivelStuck => "swivel-stuck",
-            TvFault::MuteInversion => "mute-inversion",
-        };
-        f.write_str(s)
+        f.write_str(self.name())
     }
 }
 

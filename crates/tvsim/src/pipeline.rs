@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use simkit::{Cpu, SimDuration, SimTime, TaskId};
 use std::collections::BTreeMap;
+use telemetry::Telemetry;
 
 /// The decode task id.
 pub const TASK_DECODE: TaskId = TaskId(0);
@@ -98,6 +99,7 @@ pub struct StreamingPipeline {
     degraded: u64,
     broken: u64,
     migrations: u64,
+    telemetry: Telemetry,
 }
 
 impl StreamingPipeline {
@@ -127,7 +129,15 @@ impl StreamingPipeline {
             degraded: 0,
             broken: 0,
             migrations: 0,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle. Frames and decode cost are recorded
+    /// as metrics only (per-frame rate); broken frames and migrations are
+    /// signal-level and also land in the flight recorder.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Sets the input signal quality (1.0 = perfect, 0.0 = worst).
@@ -172,6 +182,7 @@ impl StreamingPipeline {
         }
         self.assignment.insert(task, to_cpu);
         self.migrations += 1;
+        self.telemetry.count(now, "tvsim.pipeline.migrations", 1);
     }
 
     /// Task migrations performed.
@@ -301,15 +312,20 @@ impl StreamingPipeline {
             }
             (true, false) => {
                 self.degraded += 1;
+                self.telemetry.metric_incr("tvsim.pipeline.degraded", 1);
                 0.6
             }
             (false, _) => {
                 self.broken += 1;
+                self.telemetry.count(deadline, "tvsim.pipeline.broken", 1);
                 0.2
             }
         };
         self.quality_sum += quality;
         self.frames_done += 1;
+        self.telemetry.metric_incr("tvsim.pipeline.frames", 1);
+        self.telemetry
+            .observe_ns("tvsim.pipeline.decode_cost_ns", decode_cost.as_nanos());
         self.last_frame_loads = self
             .cpus
             .iter()

@@ -51,24 +51,7 @@ fn main() {
     println!();
     println!("== outcome ==");
     for (name, arm) in [("closed", &outcome.closed), ("open", &outcome.open)] {
-        println!(
-            "{name:6} failures {}/{} | detected {} | repaired {} | latency {:?}",
-            arm.failure_steps,
-            arm.steps,
-            arm.detected_errors,
-            arm.recoveries,
-            arm.detection_latency,
-        );
-    }
-    if let Some(audit) = outcome.closed.channels {
-        println!(
-            "channels: sent {} = delivered {} + lost {} + in-flight {} (conserved: {})",
-            audit.sent,
-            audit.delivered,
-            audit.lost,
-            audit.in_flight,
-            audit.conserved()
-        );
+        println!("{name:6} {}", arm.summary());
     }
     let stress = &outcome.stress;
     println!(

@@ -27,29 +27,14 @@ fn main() {
     let mut open = TvDependabilityLoop::open(42);
     open.schedule_fault(fault_window.clone(), TvFault::TeletextSyncLoss);
     let open_outcome = open.run(&scenario);
-    println!(
-        "failures: {}/{} presses, detected: {}, repaired: {}",
-        open_outcome.failure_steps,
-        open_outcome.steps,
-        open_outcome.detected_errors,
-        open_outcome.recoveries
-    );
+    println!("{}", open_outcome.summary());
 
     println!();
     println!("== closed loop (awareness monitor + correction) ==");
     let mut closed = TvDependabilityLoop::closed(42);
     closed.schedule_fault(fault_window, TvFault::TeletextSyncLoss);
     let closed_outcome = closed.run(&scenario);
-    println!(
-        "failures: {}/{} presses, detected: {}, repaired: {}",
-        closed_outcome.failure_steps,
-        closed_outcome.steps,
-        closed_outcome.detected_errors,
-        closed_outcome.recoveries
-    );
-    if let Some(latency) = closed_outcome.detection_latency {
-        println!("detection latency: {latency}");
-    }
+    println!("{}", closed_outcome.summary());
 
     assert!(closed_outcome.failure_steps <= open_outcome.failure_steps);
     println!();

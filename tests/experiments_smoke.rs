@@ -20,6 +20,13 @@ fn all_experiment_reports_render() {
         e10_warning_priority::run(1).to_string(),
         e11_memory_arbiter::run().to_string(),
         e12_realtime_monitoring::run().to_string(),
+        e15_telemetry_overhead::run(&e15_telemetry_overhead::E15Config {
+            scenario_len: 20,
+            trials: 1,
+            ring_capacity: 1_024,
+            budget_fraction: 1.0, // smoke-tests plumbing, not timing
+        })
+        .to_string(),
     ];
     for table in tables {
         assert!(table.contains('|'), "report must render a table:\n{table}");
