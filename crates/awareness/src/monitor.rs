@@ -14,9 +14,15 @@ use crate::supervisor::{
     DegradationMode, Supervisor, SupervisorAction, SupervisorConfig, SupervisorReport,
 };
 use observe::Observation;
+use recovery::{CheckpointVault, RestoreOutcome, Snapshot};
 use simkit::{SimDuration, SimTime};
 use statemachine::Machine;
 use telemetry::Telemetry;
+
+/// Checkpoint generations kept for the monitor's own state.
+const MONITOR_VAULT_CAPACITY: usize = 4;
+/// The vault unit name the monitor checkpoints under.
+const MONITOR_UNIT: &str = "monitor";
 
 /// Builds an [`AwarenessMonitor`].
 ///
@@ -222,6 +228,13 @@ impl<'m> MonitorBuilder<'m> {
             d.set_telemetry(self.telemetry.clone());
             d
         });
+        // The vault exists only on the micro-reboot ladder; its seed is
+        // derived from the channel seed so two monitors never validate
+        // each other's checkpoints.
+        let vault = self
+            .supervision
+            .filter(|c| c.micro_reboot)
+            .map(|_| CheckpointVault::new(self.seed ^ 0x5EED_0FC0_DE00, MONITOR_VAULT_CAPACITY));
         AwarenessMonitor {
             machine: self.machine,
             input_observer: InputObserver::over(input_channel),
@@ -231,6 +244,8 @@ impl<'m> MonitorBuilder<'m> {
             controller,
             supervisor,
             diagnosis,
+            vault,
+            last_vault_save: None,
             errors_total: 0,
             channel_params: (self.input_delay, self.output_delay, self.jitter, self.loss),
             channel_seed: self.seed,
@@ -258,6 +273,8 @@ pub struct AwarenessMonitor<'m> {
     controller: Controller,
     supervisor: Option<Supervisor>,
     diagnosis: Option<OnlineDiagnosis>,
+    vault: Option<CheckpointVault>,
+    last_vault_save: Option<SimTime>,
     errors_total: u64,
     channel_params: (SimDuration, SimDuration, SimDuration, f64),
     channel_seed: u64,
@@ -353,6 +370,7 @@ impl<'m> AwarenessMonitor<'m> {
         self.telemetry
             .metric_gauge("awareness.monitor.backlog", backlog as i64);
         let actions = supervisor.observe(now, backlog);
+        let quiet = actions.is_empty();
         for action in actions {
             match action {
                 SupervisorAction::Retry => {
@@ -360,14 +378,16 @@ impl<'m> AwarenessMonitor<'m> {
                     self.comparator.reset();
                 }
                 SupervisorAction::RestartChannels => self.restart_channels(),
-                SupervisorAction::RestartMonitor => {
-                    self.restart_channels();
-                    self.comparator.reset();
-                    self.model = ModelExecutor::new(self.machine);
-                    self.comparator.set_enabled(self.model.compare_enabled());
-                    self.controller.stop();
-                    self.controller.start(now);
+                SupervisorAction::MicroRebootMonitor => {
+                    if !self.micro_reboot_monitor(now) {
+                        // The whole checkpoint history failed validation:
+                        // fall through to the full-restart rung at once.
+                        self.telemetry
+                            .count(now, "awareness.monitor.micro_reboot_escalations", 1);
+                        self.restart_monitor(now);
+                    }
                 }
+                SupervisorAction::RestartMonitor => self.restart_monitor(now),
                 SupervisorAction::EnterSafeMode => {
                     // Structural part of safe mode: drop the backlog that
                     // can no longer be assessed. The knobs installed
@@ -378,13 +398,97 @@ impl<'m> AwarenessMonitor<'m> {
                 }
             }
         }
+        // Checkpoints are only worth keeping when taken from a window the
+        // supervisor itself judged healthy — a snapshot of a wedged monitor
+        // would just micro-reboot us back into the wedge.
+        if quiet && supervisor.mode() == DegradationMode::Normal {
+            self.maybe_checkpoint(now, supervisor.config().stall_after);
+        }
         self.comparator.set_degradation(supervisor.knobs());
         supervisor.heartbeat(now);
         self.supervisor = Some(supervisor);
     }
 
+    /// Saves a sealed monitor checkpoint when the healthy-window cadence
+    /// (`every`, the supervisor's stall threshold) has elapsed since the
+    /// last save. No-op when micro-reboot is not enabled.
+    fn maybe_checkpoint(&mut self, now: SimTime, every: SimDuration) {
+        let Some(vault) = self.vault.as_mut() else {
+            return;
+        };
+        let due = match self.last_vault_save {
+            None => true,
+            Some(last) => now.since(last) >= every,
+        };
+        if !due {
+            return;
+        }
+        let mut state = Snapshot::new();
+        state.insert("channel_epoch".to_string(), self.channel_epoch as f64);
+        state.insert("errors_total".to_string(), self.errors_total as f64);
+        state.insert(
+            "reliable".to_string(),
+            if self.reliable { 1.0 } else { 0.0 },
+        );
+        vault.save(MONITOR_UNIT, now, state);
+        self.last_vault_save = Some(now);
+        self.telemetry
+            .count(now, "awareness.monitor.checkpoints", 1);
+    }
+
+    /// Attempts the micro-reboot rung: restore the latest validated
+    /// checkpoint and rebuild only the channel plumbing around it. The
+    /// model executor, comparator expectations and diagnosis state are
+    /// kept — that is what makes this cheaper than a full restart.
+    ///
+    /// Returns `false` when no checkpoint in the history validates, in
+    /// which case the caller must escalate to the full-restart rung.
+    fn micro_reboot_monitor(&mut self, now: SimTime) -> bool {
+        let Some(vault) = self.vault.as_mut() else {
+            return false;
+        };
+        match vault.restore_latest(MONITOR_UNIT) {
+            RestoreOutcome::Restored { state, .. } => {
+                // Resume one epoch past the checkpointed one so the fresh
+                // channels never reuse a disturbance stream the wedged
+                // incarnation already consumed.
+                let epoch = state
+                    .get("channel_epoch")
+                    .map_or(self.channel_epoch, |v| *v as u64);
+                self.channel_epoch = epoch.wrapping_add(1);
+                self.rebuild_channels();
+                self.comparator.reset();
+                self.telemetry
+                    .count(now, "awareness.monitor.micro_reboots", 1);
+                true
+            }
+            RestoreOutcome::Exhausted { .. } | RestoreOutcome::NoHistory => false,
+        }
+    }
+
+    /// The full-restart rung: fresh channels, fresh model executor, a
+    /// reset comparator and a bounced recovery controller.
+    fn restart_monitor(&mut self, now: SimTime) {
+        self.restart_channels();
+        self.comparator.reset();
+        self.model = ModelExecutor::new(self.machine);
+        self.comparator.set_enabled(self.model.compare_enabled());
+        self.controller.stop();
+        self.controller.start(now);
+    }
+
     fn restart_channels(&mut self) {
         self.channel_epoch += 1;
+        self.rebuild_channels();
+        self.telemetry
+            .count(self.now, "awareness.monitor.channel_restarts", 1);
+    }
+
+    /// Rebuilds both observation channels for the current epoch without
+    /// advancing it — shared by the restart rung (which increments the
+    /// epoch) and the micro-reboot rung (which restores it from a
+    /// checkpoint).
+    fn rebuild_channels(&mut self) {
         let (input_delay, output_delay, jitter, loss) = self.channel_params;
         let (input, output) = MonitorBuilder::make_channels(
             input_delay,
@@ -402,8 +506,6 @@ impl<'m> AwarenessMonitor<'m> {
         );
         *self.input_observer.channel_mut() = input;
         *self.output_observer.channel_mut() = output;
-        self.telemetry
-            .count(self.now, "awareness.monitor.channel_restarts", 1);
     }
 
     fn handle_message(&mut self, at: SimTime, msg: Message) {
@@ -523,6 +625,18 @@ impl<'m> AwarenessMonitor<'m> {
     /// Times the boundary channels were rebuilt by supervision.
     pub fn channel_epoch(&self) -> u64 {
         self.channel_epoch
+    }
+
+    /// The monitor's checkpoint vault, when the micro-reboot rung is
+    /// enabled ([`SupervisorConfig::micro_reboot`]).
+    pub fn checkpoint_vault(&self) -> Option<&CheckpointVault> {
+        self.vault.as_ref()
+    }
+
+    /// Mutable vault access — chaos campaigns use this to corrupt or tear
+    /// checkpoints and exercise the generation-by-generation fallback.
+    pub fn checkpoint_vault_mut(&mut self) -> Option<&mut CheckpointVault> {
+        self.vault.as_mut()
     }
 
     /// The model executor (e.g. to inspect the model's state in tests).
@@ -773,6 +887,109 @@ mod tests {
         mon.offer(&light(t + 100, 55.0));
         mon.advance_to(SimTime::from_millis(t + 120));
         assert_eq!(mon.errors().len(), 1);
+    }
+
+    #[test]
+    fn micro_reboot_restores_the_monitor_from_a_checkpoint() {
+        let m = toggle_machine();
+        let tel = Telemetry::recording(256);
+        let mut mon = MonitorBuilder::new(&m)
+            .supervised(SupervisorConfig {
+                micro_reboot: true,
+                // Keep the breaker out of the way: this test watches the
+                // micro-reboot rung, not the safe-mode gate.
+                breaker_threshold: 10,
+                ..SupervisorConfig::default()
+            })
+            .telemetry(tel.clone())
+            .build();
+        // Healthy cadence long enough to bank several sealed checkpoints.
+        for ms in (0..2100).step_by(100) {
+            mon.advance_to(SimTime::from_millis(ms));
+        }
+        let vault = mon.checkpoint_vault().expect("micro-reboot vault");
+        assert!(vault.count(MONITOR_UNIT) >= 2, "{:?}", vault.stats());
+        // Starve the loop: Retry, two channel restarts, then the budget
+        // runs out and the micro-reboot rung fires.
+        let mut t = 2100;
+        loop {
+            t += 700;
+            mon.advance_to(SimTime::from_millis(t));
+            let report = mon.supervisor_report().unwrap();
+            if report.micro_reboots >= 1 {
+                break;
+            }
+            assert!(t < 60_000, "micro-reboot rung must fire");
+        }
+        let report = mon.supervisor_report().unwrap().to_owned();
+        assert_eq!(report.micro_reboots, 1, "{report:?}");
+        assert_eq!(report.monitor_restarts, 0, "{report:?}");
+        assert_eq!(report.safe_mode_entries, 0, "{report:?}");
+        // The rung restored epoch 0 from the checkpoint and resumed one
+        // past it — not one past the two restart-rung epochs.
+        assert_eq!(mon.channel_epoch(), 1);
+        assert_eq!(
+            mon.checkpoint_vault().unwrap().stats().restored,
+            1,
+            "exactly one generation consumed"
+        );
+        assert_eq!(tel.counter("awareness.monitor.micro_reboots"), 1);
+        assert!(tel.counter("awareness.monitor.checkpoints") >= 2);
+        // A healthy spell relaxes the degradation knobs back to Normal…
+        for step in 1..=3 {
+            mon.advance_to(SimTime::from_millis(t + step * 100));
+        }
+        assert_eq!(mon.degradation_mode(), DegradationMode::Normal);
+        // …and the monitor keeps vouching after the micro-reboot: a
+        // mismatch is still detected.
+        mon.offer(&key(t + 400));
+        mon.offer(&light(t + 400, 0.0));
+        mon.advance_to(SimTime::from_millis(t + 500));
+        assert!(mon.errors_total() >= 1);
+    }
+
+    #[test]
+    fn exhausted_checkpoint_history_escalates_to_full_restart() {
+        let m = toggle_machine();
+        let tel = Telemetry::recording(256);
+        let mut mon = MonitorBuilder::new(&m)
+            .supervised(SupervisorConfig {
+                micro_reboot: true,
+                breaker_threshold: 10,
+                ..SupervisorConfig::default()
+            })
+            .telemetry(tel.clone())
+            .build();
+        // One healthy window → exactly one checkpoint banked.
+        mon.advance_to(SimTime::from_millis(100));
+        let vault = mon.checkpoint_vault_mut().expect("vault");
+        assert_eq!(vault.count(MONITOR_UNIT), 1);
+        // Chaos corrupts the sole generation; the fingerprint must catch
+        // it on restore and the rung must escalate to a full restart.
+        assert!(vault.corrupt_latest(MONITOR_UNIT, 3));
+        let mut t = 100;
+        loop {
+            t += 700;
+            mon.advance_to(SimTime::from_millis(t));
+            let report = mon.supervisor_report().unwrap();
+            if report.micro_reboots >= 1 {
+                break;
+            }
+            assert!(t < 60_000, "micro-reboot rung must be attempted");
+        }
+        assert_eq!(tel.counter("awareness.monitor.micro_reboot_escalations"), 1);
+        assert_eq!(tel.counter("awareness.monitor.micro_reboots"), 0);
+        assert_eq!(mon.checkpoint_vault().unwrap().stats().corrupt_detected, 1);
+        // The fallback was the full-restart rung, so the model executor
+        // was rebuilt and the controller bounced — the monitor survives.
+        for step in 1..=3 {
+            mon.advance_to(SimTime::from_millis(t + step * 100));
+        }
+        assert_eq!(mon.degradation_mode(), DegradationMode::Normal);
+        mon.offer(&key(t + 400));
+        mon.offer(&light(t + 400, 0.0));
+        mon.advance_to(SimTime::from_millis(t + 500));
+        assert!(mon.errors_total() >= 1);
     }
 
     #[test]

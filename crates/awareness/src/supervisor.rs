@@ -100,6 +100,11 @@ pub struct SupervisorConfig {
     pub breaker_threshold: u32,
     /// Breaker cool-down (a healthy probe after this closes it again).
     pub breaker_cooldown: SimDuration,
+    /// Inserts the micro-reboot rung between "restart channels" and
+    /// "restart monitor": before paying for a full monitor restart, the
+    /// monitor is restored from its latest validated checkpoint. Off by
+    /// default (the classic four-rung ladder).
+    pub micro_reboot: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -113,6 +118,7 @@ impl Default for SupervisorConfig {
             restart_window: SimDuration::from_secs(10),
             breaker_threshold: 4,
             breaker_cooldown: SimDuration::from_secs(5),
+            micro_reboot: false,
         }
     }
 }
@@ -124,6 +130,11 @@ pub enum SupervisorAction {
     Retry,
     /// Drop and re-create the boundary channels' in-flight state.
     RestartChannels,
+    /// Restore the monitor from its latest validated checkpoint,
+    /// keeping the executing model — cheaper than a full restart. Falls
+    /// back to [`SupervisorAction::RestartMonitor`] when the checkpoint
+    /// history is exhausted.
+    MicroRebootMonitor,
     /// Restart the whole monitor (model, comparator, channels).
     RestartMonitor,
     /// Enter sticky safe mode.
@@ -143,7 +154,9 @@ pub struct SupervisorReport {
     pub retries: u64,
     /// Channel restarts issued (second rung).
     pub channel_restarts: u64,
-    /// Full monitor restarts issued (third rung).
+    /// Micro-reboots issued (third rung, when enabled).
+    pub micro_reboots: u64,
+    /// Full monitor restarts issued (fourth rung).
     pub monitor_restarts: u64,
     /// Safe-mode entries (final rung).
     pub safe_mode_entries: u64,
@@ -163,6 +176,7 @@ pub struct Supervisor {
     breaker: CircuitBreaker,
     last_heartbeat: Option<SimTime>,
     consecutive_anomalies: u32,
+    micro_attempted: bool,
     mode: DegradationMode,
     report: SupervisorReport,
     telemetry: Telemetry,
@@ -177,6 +191,7 @@ impl Supervisor {
             config,
             last_heartbeat: None,
             consecutive_anomalies: 0,
+            micro_attempted: false,
             mode: DegradationMode::Normal,
             report: SupervisorReport::default(),
             telemetry: Telemetry::off(),
@@ -260,6 +275,7 @@ impl Supervisor {
             // above).
             self.breaker.record(now, true);
             self.consecutive_anomalies = 0;
+            self.micro_attempted = false;
             self.set_mode(now, DegradationMode::Normal);
             return Vec::new();
         }
@@ -283,8 +299,24 @@ impl Supervisor {
             self.telemetry.count(now, "awareness.supervisor.retries", 1);
             return vec![SupervisorAction::Retry];
         }
+        if self.micro_attempted {
+            // The micro-reboot rung already ran and the anomaly persists:
+            // the ladder keeps climbing — no dropping back below it.
+            self.micro_attempted = false;
+            self.report.monitor_restarts += 1;
+            self.telemetry
+                .count(now, "awareness.supervisor.monitor_restarts", 1);
+            return vec![SupervisorAction::RestartMonitor];
+        }
         let unit = if stalled { "monitor-loop" } else { "boundary" };
         match self.escalation.decide(now, unit) {
+            RecoveryAction::RestartAll if self.config.micro_reboot => {
+                self.micro_attempted = true;
+                self.report.micro_reboots += 1;
+                self.telemetry
+                    .count(now, "awareness.supervisor.micro_reboots", 1);
+                vec![SupervisorAction::MicroRebootMonitor]
+            }
             RecoveryAction::RestartAll => {
                 self.report.monitor_restarts += 1;
                 self.telemetry
@@ -321,6 +353,7 @@ impl Supervisor {
                 CircuitBreaker::new(self.config.breaker_threshold, self.config.breaker_cooldown);
             self.last_heartbeat = None;
             self.consecutive_anomalies = 0;
+            self.micro_attempted = false;
         }
     }
 }
@@ -378,6 +411,70 @@ mod tests {
         assert_eq!(s.mode(), DegradationMode::SafeMode);
         // Only critical checks survive there.
         assert_eq!(s.knobs().min_priority, CheckPriority::Critical);
+    }
+
+    #[test]
+    fn micro_reboot_rung_sits_between_channels_and_monitor_restart() {
+        let mut s = Supervisor::new(SupervisorConfig {
+            micro_reboot: true,
+            // One extra breaker credit so the full six-rung ladder is
+            // visible before safe mode.
+            breaker_threshold: 5,
+            ..SupervisorConfig::default()
+        });
+        s.heartbeat(SimTime::ZERO);
+        let mut actions = Vec::new();
+        for k in 1..=10u64 {
+            let t = SimTime::from_millis(600 * k);
+            actions.extend(s.observe(t, 0));
+            if s.mode() == DegradationMode::SafeMode {
+                break;
+            }
+        }
+        assert_eq!(
+            actions,
+            vec![
+                SupervisorAction::Retry,
+                SupervisorAction::RestartChannels,
+                SupervisorAction::RestartChannels,
+                SupervisorAction::MicroRebootMonitor,
+                SupervisorAction::RestartMonitor,
+                SupervisorAction::EnterSafeMode,
+            ],
+            "{:?}",
+            s.report()
+        );
+        assert_eq!(s.report().micro_reboots, 1);
+        assert_eq!(s.report().monitor_restarts, 1);
+    }
+
+    #[test]
+    fn healthy_spell_rearms_the_micro_reboot_rung() {
+        let mut s = Supervisor::new(SupervisorConfig {
+            micro_reboot: true,
+            // Generous breaker so the climb-heal-climb cycle never trips
+            // it — the re-arming of the rung is what's under test.
+            breaker_threshold: 10,
+            ..SupervisorConfig::default()
+        });
+        let mut t = SimTime::ZERO;
+        s.heartbeat(t);
+        // Climb to the micro-reboot rung.
+        let mut climbed = Vec::new();
+        for _ in 0..4 {
+            t += SimDuration::from_millis(600);
+            climbed.extend(s.observe(t, 0));
+        }
+        assert_eq!(climbed.last(), Some(&SupervisorAction::MicroRebootMonitor));
+        // A healthy assessment resets the ladder and the micro attempt.
+        s.heartbeat(t);
+        t += SimDuration::from_millis(100);
+        assert!(s.observe(t, 0).is_empty());
+        // A fresh anomaly starts back at the cheap rung, and the micro
+        // rung is available again on the next climb.
+        t += SimDuration::from_millis(600);
+        assert_eq!(s.observe(t, 0), vec![SupervisorAction::Retry]);
+        assert_eq!(s.report().micro_reboots, 1);
     }
 
     #[test]

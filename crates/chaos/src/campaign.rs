@@ -136,7 +136,13 @@ impl CampaignSpec {
         looped.set_channel_loss(self.loss);
         looped.use_reliable(self.reliable);
         if self.supervised {
-            looped.supervised(SupervisorConfig::default());
+            // Supervised campaigns climb the five-rung ladder: the
+            // micro-reboot rung sits between the channel-restart and
+            // monitor-restart rungs.
+            looped.supervised(SupervisorConfig {
+                micro_reboot: true,
+                ..SupervisorConfig::default()
+            });
         }
     }
 
@@ -213,6 +219,16 @@ impl CampaignOutcome {
             mix(outcome.detection_latency.map_or(u64::MAX, |l| l.as_nanos()));
             mix(outcome.fault_activations as u64);
             mix(outcome.safe_mode_entries);
+            mix(outcome.lost_presses);
+            mix(outcome.lost_presses_unaffected);
+            mix(outcome.micro_reboots);
+            mix(outcome.full_restarts);
+            mix(outcome.reboot_mttr.map_or(u64::MAX, |m| m.as_nanos()));
+            mix(u64::from(outcome.ladder_rung));
+            mix(outcome.checkpoint_generations.len() as u64);
+            for (_, generation) in &outcome.checkpoint_generations {
+                mix(*generation);
+            }
             if let Some(audit) = outcome.channels {
                 mix(audit.sent);
                 mix(audit.delivered);

@@ -18,7 +18,9 @@ use telemetry::{Json, Telemetry};
 use crate::campaign::CampaignOutcome;
 use crate::invariants::check_invariants;
 
-/// How many newest flight-recorder events a forensic dump retains.
+/// How many newest flight-recorder events a forensic dump retains by
+/// default ([`ForensicReport::capture_with_tail`] makes it
+/// configurable).
 pub const FORENSIC_TAIL: usize = 256;
 
 /// Everything needed to debug a failed campaign without re-running it.
@@ -37,22 +39,45 @@ pub struct ForensicReport {
     pub events_captured: usize,
     /// Older events the ring had already overwritten.
     pub events_overwritten: u64,
+    /// The tail length the capture was limited to.
+    pub tail_limit: usize,
+    /// The highest supervisor escalation rung the closed arm reached
+    /// (0 none … 5 safe mode) — see `LoopOutcome::ladder_rung`.
+    pub rung: u8,
+    /// Latest sealed checkpoint generation per unit in the closed arm
+    /// (empty unless the run used structural unit recovery).
+    pub checkpoints: Vec<(String, u64)>,
 }
 
 impl ForensicReport {
-    /// Captures a report from a finished campaign and its telemetry.
+    /// Captures a report from a finished campaign and its telemetry,
+    /// retaining the newest [`FORENSIC_TAIL`] events.
     pub fn capture(
         outcome: &CampaignOutcome,
         telemetry: &Telemetry,
         violations: Vec<String>,
     ) -> Self {
-        let timeline_jsonl = telemetry.tail_jsonl(FORENSIC_TAIL);
+        Self::capture_with_tail(outcome, telemetry, violations, FORENSIC_TAIL)
+    }
+
+    /// [`capture`](Self::capture) with an explicit tail length — small
+    /// for terse CI artifacts, large for deep post-mortems.
+    pub fn capture_with_tail(
+        outcome: &CampaignOutcome,
+        telemetry: &Telemetry,
+        violations: Vec<String>,
+        tail: usize,
+    ) -> Self {
+        let timeline_jsonl = telemetry.tail_jsonl(tail);
         ForensicReport {
             seed: outcome.spec.seed,
             fingerprint: outcome.fingerprint(),
             violations,
             events_captured: timeline_jsonl.lines().count(),
             events_overwritten: telemetry.overwritten(),
+            tail_limit: tail,
+            rung: outcome.closed.ladder_rung,
+            checkpoints: outcome.closed.checkpoint_generations.clone(),
             timeline_jsonl,
         }
     }
@@ -74,6 +99,17 @@ impl ForensicReport {
                         .collect(),
                 ),
             )
+            .field("rung", Json::Int(i64::from(self.rung)))
+            .field(
+                "checkpoints",
+                Json::Array(
+                    self.checkpoints
+                        .iter()
+                        .map(|(unit, generation)| Json::Str(format!("{unit}:{generation}")))
+                        .collect(),
+                ),
+            )
+            .field("tail_limit", Json::Int(self.tail_limit as i64))
             .field("events_captured", Json::Int(self.events_captured as i64))
             .field(
                 "events_overwritten",
@@ -98,8 +134,9 @@ impl ForensicReport {
             out.push('\n');
         }
         out.push_str(&format!(
-            "flight recorder: {} event(s) captured, {} overwritten\n",
-            self.events_captured, self.events_overwritten
+            "flight recorder: {} event(s) captured (tail limit {}), {} overwritten; \
+             escalation rung {}\n",
+            self.events_captured, self.tail_limit, self.events_overwritten, self.rung
         ));
         out.push_str(&self.timeline_jsonl);
         out

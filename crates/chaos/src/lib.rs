@@ -34,7 +34,10 @@
 //! arm; if an invariant then trips, [`forensics`] drains the newest
 //! events into the failure report as a JSONL timeline — the offending
 //! component's fault edges, detections, and restarts are in the dump
-//! itself, not just the reproducing seed.
+//! itself, not just the reproducing seed. [`replay`] closes the loop
+//! the other way: it parses such a dump back into the campaign that
+//! produced it and re-executes it, asserting a byte-identical
+//! fingerprint — trace-driven failure replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,11 +45,15 @@
 pub mod campaign;
 pub mod forensics;
 pub mod invariants;
+pub mod mttr;
+pub mod replay;
 pub mod stress;
 
 pub use campaign::{CampaignOutcome, CampaignSpec, FaultPlan};
 pub use forensics::{assert_with_forensics, audit_with_forensics, ForensicReport};
 pub use invariants::{assert_invariants, check_invariants, detection_latency_bound};
+pub use mttr::{e16_campaign_from_seed, e16_campaigns};
+pub use replay::{replay_dump, ReplayReport};
 pub use stress::{StressOutcome, StressPlan};
 
 /// Builds and runs the campaign for `seed`.

@@ -1,0 +1,68 @@
+//! E16 adapter: seed-derived campaign specs, expressed in the loop-level
+//! terms the `trader` E16 harness understands.
+//!
+//! The harness (`trader::experiments::e16_microreboot_mttr`) is
+//! deliberately chaos-agnostic — it takes a list of
+//! [`E16Campaign`]s. This module maps [`CampaignSpec::from_seed`] onto
+//! that shape, so the MTTR experiment measures recovery under exactly
+//! the fault plans and boundary disturbances the chaos regression
+//! already exercises (same seeds, same schedules, same loss).
+//!
+//! The spec's supervision and stress legs are not carried over: E16
+//! isolates SUO unit recovery, and supervision's own micro-reboot rung
+//! is measured by the awareness tests instead.
+
+use trader::experiments::e16_microreboot_mttr::E16Campaign;
+
+use crate::campaign::CampaignSpec;
+
+/// Maps the seed-derived campaign onto an E16 campaign.
+pub fn e16_campaign_from_seed(seed: u64) -> E16Campaign {
+    let spec = CampaignSpec::from_seed(seed);
+    E16Campaign {
+        seed,
+        scenario_len: spec.scenario_len,
+        faults: spec
+            .faults
+            .iter()
+            .map(|plan| (plan.schedule.clone(), plan.fault))
+            .collect(),
+        output_delay: spec.output_delay,
+        jitter: spec.jitter,
+        loss: spec.loss,
+        reliable: spec.reliable,
+    }
+}
+
+/// The first `n` seed-derived campaigns (the chaos regression's set is
+/// `e16_campaigns(24)`).
+pub fn e16_campaigns(n: u64) -> Vec<E16Campaign> {
+    (0..n).map(e16_campaign_from_seed).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_preserves_the_campaign_dimensions() {
+        let spec = CampaignSpec::from_seed(11);
+        let campaign = e16_campaign_from_seed(11);
+        assert_eq!(campaign.seed, 11);
+        assert_eq!(campaign.scenario_len, spec.scenario_len);
+        assert_eq!(campaign.faults.len(), spec.faults.len());
+        assert_eq!(campaign.loss, spec.loss);
+        assert_eq!(campaign.reliable, spec.reliable);
+    }
+
+    #[test]
+    fn the_regression_set_contains_single_unit_campaigns() {
+        let campaigns = e16_campaigns(24);
+        let single = campaigns.iter().filter(|c| c.single_unit()).count();
+        assert!(
+            single >= 2,
+            "only {single} single-unit campaigns among 24 — the MTTR \
+             claim needs a population"
+        );
+    }
+}

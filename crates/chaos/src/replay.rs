@@ -1,0 +1,259 @@
+//! Trace-driven failure replay: a forensic dump back into a running
+//! campaign.
+//!
+//! A [`ForensicReport`](crate::forensics::ForensicReport) artifact is a
+//! JSONL file whose header line carries the generating seed and the
+//! outcome fingerprint. Because a campaign is derived *entirely* from
+//! its seed, the dump alone reproduces the failure: [`replay_dump`]
+//! parses the header, re-executes the campaign, and checks that the
+//! replayed fingerprint is byte-identical to the recorded one — the
+//! paper's reproducibility contract, mechanised. A mismatch means the
+//! engine drifted since the dump was captured (or the dump was
+//! tampered with), and the report says so honestly.
+//!
+//! The parser inverts exactly the hand-rendered JSON this workspace
+//! emits (`telemetry::Json`): compact separators, `\"` `\\` `\n` `\r`
+//! `\t` shorthands, and lowercase `\uXXXX` for the remaining control
+//! characters.
+
+use crate::campaign::CampaignSpec;
+use crate::invariants::check_invariants;
+
+/// The verdict of replaying a forensic dump.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// The seed parsed from the dump header.
+    pub seed: u64,
+    /// The fingerprint recorded in the dump (16 lowercase hex digits).
+    pub recorded_fingerprint: String,
+    /// The fingerprint of the re-executed campaign.
+    pub replayed_fingerprint: String,
+    /// The invariant violations recorded in the dump.
+    pub violations_recorded: Vec<String>,
+    /// The invariant violations of the re-executed campaign.
+    pub violations_replayed: Vec<String>,
+}
+
+impl ReplayReport {
+    /// Whether the replayed fingerprint is byte-identical to the
+    /// recorded one.
+    pub fn is_identical(&self) -> bool {
+        self.recorded_fingerprint == self.replayed_fingerprint
+    }
+
+    /// A human-readable verdict line plus both fingerprints.
+    pub fn render(&self) -> String {
+        format!(
+            "replay of seed {}: {} (recorded {}, replayed {}); \
+             {} violation(s) recorded, {} on replay",
+            self.seed,
+            if self.is_identical() {
+                "byte-identical"
+            } else {
+                "MISMATCH"
+            },
+            self.recorded_fingerprint,
+            self.replayed_fingerprint,
+            self.violations_recorded.len(),
+            self.violations_replayed.len(),
+        )
+    }
+}
+
+/// Parses a forensic JSONL dump, re-executes the campaign its header
+/// names, and compares fingerprints. Errors are parse problems only —
+/// a fingerprint mismatch is a *result*, reported in the returned
+/// [`ReplayReport`], not an error.
+pub fn replay_dump(dump: &str) -> Result<ReplayReport, String> {
+    let header = dump
+        .lines()
+        .find(|line| line.contains("\"type\":\"forensic_header\""))
+        .ok_or_else(|| "no forensic_header line in dump".to_string())?;
+    let seed = parse_int_field(header, "seed")? as u64;
+    let recorded_fingerprint = parse_str_field(header, "fingerprint")?;
+    let violations_recorded = parse_str_array_field(header, "violations")?;
+
+    let outcome = CampaignSpec::from_seed(seed).run();
+    let replayed_fingerprint = format!("{:016x}", outcome.fingerprint());
+    let violations_replayed = check_invariants(&outcome);
+
+    Ok(ReplayReport {
+        seed,
+        recorded_fingerprint,
+        replayed_fingerprint,
+        violations_recorded,
+        violations_replayed,
+    })
+}
+
+/// Finds `"key":` in `line` and returns the slice starting right after
+/// the colon.
+fn field_start<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pattern = format!("\"{key}\":");
+    let idx = line
+        .find(&pattern)
+        .ok_or_else(|| format!("field {key:?} missing from header"))?;
+    Ok(&line[idx + pattern.len()..])
+}
+
+fn parse_int_field(line: &str, key: &str) -> Result<i64, String> {
+    let rest = field_start(line, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .map_err(|e| format!("field {key:?}: {e}"))
+}
+
+fn parse_str_field(line: &str, key: &str) -> Result<String, String> {
+    let rest = field_start(line, key)?;
+    parse_json_string(rest).map(|(value, _)| value)
+}
+
+fn parse_str_array_field(line: &str, key: &str) -> Result<Vec<String>, String> {
+    let mut rest = field_start(line, key)?;
+    rest = rest
+        .strip_prefix('[')
+        .ok_or_else(|| format!("field {key:?}: expected array"))?;
+    let mut values = Vec::new();
+    if let Some(after) = rest.strip_prefix(']') {
+        let _ = after;
+        return Ok(values);
+    }
+    loop {
+        let (value, after) = parse_json_string(rest)?;
+        values.push(value);
+        if let Some(after_comma) = after.strip_prefix(',') {
+            rest = after_comma;
+        } else {
+            after
+                .strip_prefix(']')
+                .ok_or_else(|| format!("field {key:?}: unterminated array"))?;
+            return Ok(values);
+        }
+    }
+}
+
+/// Decodes one JSON string starting at the opening quote; returns the
+/// decoded value and the remainder after the closing quote. Inverts
+/// `telemetry::json`'s escaping exactly.
+fn parse_json_string(s: &str) -> Result<(String, &str), String> {
+    let bytes = s.as_bytes();
+    if bytes.first() != Some(&b'"') {
+        return Err(format!("expected string at {:?}", &s[..s.len().min(20)]));
+    }
+    let mut out = String::new();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, &s[i + 1..])),
+            b'\\' => {
+                let esc = *bytes
+                    .get(i + 1)
+                    .ok_or_else(|| "truncated escape".to_string())?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = s
+                            .get(i + 2..i + 6)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid code point {code:#x}"))?,
+                        );
+                        i += 4;
+                    }
+                    other => return Err(format!("unknown escape \\{}", other as char)),
+                }
+                i += 2;
+            }
+            _ => {
+                let ch = s[i..].chars().next().expect("in-bounds char boundary");
+                out.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forensics::ForensicReport;
+    use telemetry::{Json, Telemetry};
+
+    #[test]
+    fn replay_reproduces_a_byte_identical_fingerprint() {
+        let telemetry = Telemetry::recording(1024);
+        let spec = CampaignSpec::from_seed(7);
+        let outcome = spec.run_with(&telemetry);
+        let report = ForensicReport::capture(&outcome, &telemetry, check_invariants(&outcome));
+        let dump = report.to_jsonl();
+
+        let replay = replay_dump(&dump).expect("dump parses");
+        assert_eq!(replay.seed, 7);
+        assert!(replay.is_identical(), "{}", replay.render());
+        assert_eq!(
+            replay.recorded_fingerprint,
+            format!("{:016x}", outcome.fingerprint())
+        );
+        assert!(replay.render().contains("byte-identical"));
+    }
+
+    #[test]
+    fn tampered_outcome_mismatches_honestly() {
+        let telemetry = Telemetry::recording(1024);
+        let spec = CampaignSpec::from_seed(7);
+        let mut outcome = spec.run_with(&telemetry);
+        // The dump records a fingerprint the engine never produced.
+        outcome.open.recoveries += 1;
+        let violations = check_invariants(&outcome);
+        assert!(!violations.is_empty(), "tampering must trip an invariant");
+        let dump = ForensicReport::capture(&outcome, &telemetry, violations).to_jsonl();
+
+        let replay = replay_dump(&dump).expect("dump parses");
+        assert!(!replay.is_identical(), "{}", replay.render());
+        assert!(!replay.violations_recorded.is_empty());
+        assert!(replay.violations_replayed.is_empty());
+        assert!(replay.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn dump_without_header_is_a_parse_error() {
+        assert!(replay_dump("{\"type\":\"span\"}\n").is_err());
+        assert!(replay_dump("").is_err());
+    }
+
+    #[test]
+    fn string_parser_inverts_the_json_renderer_exactly() {
+        // Every escape class the renderer emits: quote, backslash, the
+        // three shorthands, a \u control character, and multi-byte
+        // UTF-8 passed through verbatim.
+        let nasty = "a\"b\\c\nd\re\tf\u{7}g\u{1f}héλ";
+        let rendered = Json::Str(nasty.to_string()).render();
+        let (decoded, rest) = parse_json_string(&rendered).expect("parses");
+        assert_eq!(decoded, nasty);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn violations_with_embedded_quotes_round_trip_through_the_header() {
+        let telemetry = Telemetry::recording(64);
+        let outcome = CampaignSpec::from_seed(3).run_with(&telemetry);
+        let violations = vec![
+            "closed arm \"failed\" [worse]".to_string(),
+            "tab\there, newline\nthere".to_string(),
+        ];
+        let dump = ForensicReport::capture(&outcome, &telemetry, violations.clone()).to_jsonl();
+        let replay = replay_dump(&dump).expect("dump parses");
+        assert_eq!(replay.violations_recorded, violations);
+    }
+}

@@ -18,6 +18,7 @@
 //! | E12 | §4.3    | real-time property monitoring |
 //! | E14 | §4.4    | streaming + sharded diagnosis scales past 60 000 blocks |
 //! | E15 | §4.1    | flight-recorder telemetry stays within the probe budget |
+//! | E16 | §4.5    | micro-reboot recovery beats whole-system restart MTTR ≥2x |
 //!
 //! Every module exposes a `run(...)` returning a serializable report with
 //! a `Display` rendering the paper-style table; `crates/bench` wraps each
@@ -29,6 +30,7 @@ pub mod e11_memory_arbiter;
 pub mod e12_realtime_monitoring;
 pub mod e14_spectra_scale;
 pub mod e15_telemetry_overhead;
+pub mod e16_microreboot_mttr;
 pub mod e1_spectra;
 pub mod e2_comparator;
 pub mod e3_mode_consistency;

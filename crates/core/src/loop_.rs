@@ -11,12 +11,13 @@ use detect::{ConsistencyRule, Detector, ErrorEvent, ModeConsistencyDetector};
 use faults::injector::Transition;
 use faults::{Injector, Schedule};
 use observe::{ObsValue, Observation};
+use recovery::{CheckpointVault, RestoreOutcome};
 use serde::{Deserialize, Serialize};
-use simkit::{SimDuration, SimTime};
+use simkit::{SimDuration, SimRng, SimTime};
 use statemachine::{Event, Executor, Machine, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use telemetry::Telemetry;
-use tvsim::{tv_spec_machine, TvFault, TvSystem};
+use tvsim::{tv_spec_machine, Key, TvFault, TvSystem};
 
 use crate::scenario::TimedScenario;
 
@@ -47,6 +48,79 @@ impl ChannelAudit {
     }
 }
 
+/// How the loop recovers the SUO when the awareness monitor pins an
+/// error on a pipeline unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnitRecoveryStyle {
+    /// The classic remedy: bounce the whole TV. Every unit is rolled
+    /// back to its latest validated checkpoint and the entire set is
+    /// unavailable for the full restart outage.
+    FullRestart,
+    /// Crash-consistent micro-reboot: only the faulty unit is restored
+    /// from its latest validated checkpoint, its post-checkpoint key
+    /// presses are replayed from the journal, and the rest of the TV
+    /// keeps serving presses throughout.
+    MicroReboot,
+}
+
+/// Configuration for structural unit recovery (checkpoints + reboot
+/// ladder). When installed via [`TvDependabilityLoop::unit_recovery`],
+/// it replaces the targeted repair strategy in the closed loop; the open
+/// loop ignores it (there is nothing to detect with).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitRecoveryConfig {
+    /// Which rung the loop reaches for first.
+    pub style: UnitRecoveryStyle,
+    /// Healthy-window checkpoint cadence. A unit is only checkpointed
+    /// when no error has been attributed to it since its last
+    /// checkpoint — a crash-consistent snapshot, never a wedged one.
+    pub checkpoint_every: SimDuration,
+    /// Checkpoint generations kept per unit.
+    pub vault_capacity: usize,
+    /// Virtual-time outage of a full restart (all units down).
+    pub full_restart_outage: SimDuration,
+    /// Base virtual-time outage of a micro-reboot (one unit down).
+    pub micro_outage: SimDuration,
+    /// Added micro-reboot outage per journal entry replayed.
+    pub replay_cost: SimDuration,
+    /// Cooldown between recovery episodes — errors inside it are counted
+    /// but do not trigger another reboot.
+    pub min_between: SimDuration,
+    /// Chance that chaos flips one bit in a just-saved checkpoint
+    /// (exercises the fingerprint fallback). Seed-derived.
+    pub corrupt_chance: f64,
+    /// Chance that chaos tears a field out of a just-saved checkpoint.
+    pub tear_chance: f64,
+}
+
+impl UnitRecoveryConfig {
+    /// Micro-reboot defaults: 500 ms checkpoint cadence, 4 generations,
+    /// 50 ms outage plus 1 ms per replayed press, 200 ms cooldown, no
+    /// checkpoint chaos.
+    pub fn micro_reboot() -> Self {
+        UnitRecoveryConfig {
+            style: UnitRecoveryStyle::MicroReboot,
+            checkpoint_every: SimDuration::from_millis(500),
+            vault_capacity: 4,
+            full_restart_outage: SimDuration::from_secs(4),
+            micro_outage: SimDuration::from_millis(50),
+            replay_cost: SimDuration::from_millis(1),
+            min_between: SimDuration::from_millis(200),
+            corrupt_chance: 0.0,
+            tear_chance: 0.0,
+        }
+    }
+
+    /// Full-restart defaults: same checkpoint discipline, but every
+    /// recovery bounces the whole TV for the 4 s outage.
+    pub fn full_restart() -> Self {
+        UnitRecoveryConfig {
+            style: UnitRecoveryStyle::FullRestart,
+            ..Self::micro_reboot()
+        }
+    }
+}
+
 /// The outcome of running a scenario through the loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoopOutcome {
@@ -74,6 +148,27 @@ pub struct LoopOutcome {
     /// The diagnoser's suspect window at end of run, most suspicious
     /// first (empty with diagnosis off or no steps recorded).
     pub top_suspects: Vec<u32>,
+    /// Key presses swallowed by reboot outages (zero without
+    /// [`TvDependabilityLoop::unit_recovery`]).
+    pub lost_presses: u64,
+    /// The subset of [`lost_presses`](Self::lost_presses) aimed at units
+    /// *other* than the one that failed — collateral damage of
+    /// whole-system restarts; zero under micro-reboot.
+    pub lost_presses_unaffected: u64,
+    /// Micro-reboot episodes (faulty unit restored from checkpoint and
+    /// reconciled by journal replay).
+    pub micro_reboots: u64,
+    /// Full-restart episodes (every unit rolled back, whole TV down).
+    pub full_restarts: u64,
+    /// Mean virtual time from error detection to recovery convergence
+    /// over all reboot episodes (`None` when none happened).
+    pub reboot_mttr: Option<SimDuration>,
+    /// Latest sealed checkpoint generation per unit at end of run.
+    pub checkpoint_generations: Vec<(String, u64)>,
+    /// Highest supervisor escalation rung reached: 0 none, 1 retry,
+    /// 2 channel restart, 3 micro-reboot, 4 monitor restart, 5 safe
+    /// mode.
+    pub ladder_rung: u8,
 }
 
 impl LoopOutcome {
@@ -120,6 +215,26 @@ impl LoopOutcome {
         if self.safe_mode_entries > 0 {
             let _ = write!(line, " safe_mode={}", self.safe_mode_entries);
         }
+        if self.micro_reboots > 0 || self.full_restarts > 0 {
+            let _ = write!(
+                line,
+                " reboots={}micro/{}full",
+                self.micro_reboots, self.full_restarts
+            );
+            if let Some(mttr) = self.reboot_mttr {
+                let _ = write!(line, " mttr={mttr}");
+            }
+        }
+        if self.lost_presses > 0 {
+            let _ = write!(
+                line,
+                " lost={} ({} unaffected)",
+                self.lost_presses, self.lost_presses_unaffected
+            );
+        }
+        if self.ladder_rung > 0 {
+            let _ = write!(line, " rung={}", self.ladder_rung);
+        }
         if self.diagnoses_triggered > 0 {
             let _ = write!(line, " diagnoses={}", self.diagnoses_triggered);
             if let Some(prime) = self.top_suspects.first() {
@@ -127,6 +242,180 @@ impl LoopOutcome {
             }
         }
         line
+    }
+}
+
+/// Maps a comparator observable to the pipeline unit it indicts.
+fn observable_unit(observable: &str) -> Option<&'static str> {
+    match observable {
+        "volume" | "audio.muted" => Some("audio"),
+        "channel" => Some("tuner"),
+        "screen.mode" | "source" => Some("screen"),
+        "swivel.angle" => Some("swivel"),
+        "sleep.minutes" => Some("sleep"),
+        o if o.starts_with("teletext.") => Some("teletext"),
+        _ => None,
+    }
+}
+
+/// Per-run bookkeeping for structural unit recovery: the checkpoint
+/// vault, the per-unit press journals, outage windows, and the MTTR
+/// ledger.
+#[derive(Debug)]
+struct RecoveryState {
+    cfg: UnitRecoveryConfig,
+    vault: CheckpointVault,
+    chaos: SimRng,
+    journal: BTreeMap<&'static str, Vec<Key>>,
+    dirty: BTreeSet<&'static str>,
+    unit_down_until: Option<(&'static str, SimTime)>,
+    all_down_until: Option<SimTime>,
+    outage_unit: Option<&'static str>,
+    next_allowed: SimTime,
+    last_checkpoint: Option<SimTime>,
+    mttr_total_ns: u64,
+    episodes: u64,
+}
+
+impl RecoveryState {
+    fn new(cfg: UnitRecoveryConfig, seed: u64) -> Self {
+        RecoveryState {
+            cfg,
+            // The vault seed is derived from, not equal to, the loop
+            // seed: a fingerprint must not collide with other
+            // seed-keyed digests in the same run.
+            vault: CheckpointVault::new(seed ^ 0xC0DE_5EA1_ED00_0000, cfg.vault_capacity),
+            chaos: SimRng::seed(seed).derive(0xC8A0_55EE),
+            journal: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            unit_down_until: None,
+            all_down_until: None,
+            outage_unit: None,
+            next_allowed: SimTime::ZERO,
+            last_checkpoint: None,
+            mttr_total_ns: 0,
+            episodes: 0,
+        }
+    }
+
+    /// Whether a press served by `unit` at `at` falls inside a reboot
+    /// outage (whole-TV or that unit's own).
+    fn is_down(&self, at: SimTime, unit: &str) -> bool {
+        self.all_down_until.is_some_and(|until| at < until)
+            || self
+                .unit_down_until
+                .is_some_and(|(u, until)| u == unit && at < until)
+    }
+
+    /// Saves one sealed checkpoint per clean, up unit when the cadence
+    /// is due. Units with errors attributed since their last checkpoint
+    /// are skipped — crash consistency over freshness.
+    fn maybe_checkpoint(&mut self, tv: &TvSystem, at: SimTime, telemetry: &Telemetry) {
+        if self.all_down_until.is_some_and(|until| at < until) {
+            return;
+        }
+        let due = match self.last_checkpoint {
+            None => true,
+            Some(last) => at.since(last) >= self.cfg.checkpoint_every,
+        };
+        if !due {
+            return;
+        }
+        self.last_checkpoint = Some(at);
+        for unit in TvSystem::UNITS {
+            if self.dirty.contains(unit) || self.is_down(at, unit) {
+                continue;
+            }
+            let Some(state) = tv.unit_state(unit) else {
+                continue;
+            };
+            self.vault.save(unit, at, state);
+            // The journal restarts at the new baseline.
+            self.journal.remove(unit);
+            telemetry.count(at, "core.reboot.checkpoint", 1);
+            // Chaos rider: flip a bit or tear a field in what was just
+            // sealed, so restores exercise the fingerprint fallback.
+            if self.cfg.corrupt_chance > 0.0 && self.chaos.chance(self.cfg.corrupt_chance) {
+                let bit = self.chaos.uniform_u64(0, 63) as u32;
+                let _ = self.vault.corrupt_latest(unit, bit);
+            } else if self.cfg.tear_chance > 0.0 && self.chaos.chance(self.cfg.tear_chance) {
+                let _ = self.vault.tear_latest(unit);
+            }
+        }
+    }
+
+    /// Runs one recovery episode for `unit` at `settle` and returns the
+    /// recovered units' announcements (fed back as observations).
+    ///
+    /// Micro-reboot restores the unit's latest validated checkpoint and
+    /// replays its journal; if the whole checkpoint history fails
+    /// validation it escalates to a full restart, the style used
+    /// unconditionally by [`UnitRecoveryStyle::FullRestart`].
+    fn recover(
+        &mut self,
+        tv: &mut TvSystem,
+        settle: SimTime,
+        unit: &'static str,
+        outcome: &mut LoopOutcome,
+        telemetry: &Telemetry,
+    ) -> Vec<Observation> {
+        if self.cfg.style == UnitRecoveryStyle::MicroReboot {
+            if let RestoreOutcome::Restored { state, .. } = self.vault.restore_latest(unit) {
+                tv.restore_unit(unit, &state);
+                // State reconciliation: every press served since the
+                // checkpoint is replayed onto the restored state.
+                let entries = self.journal.get(unit).cloned().unwrap_or_default();
+                for key in &entries {
+                    let _ = tv.replay_unit_key(settle, unit, *key);
+                }
+                let outage = self.cfg.micro_outage + self.cfg.replay_cost * entries.len() as u64;
+                self.unit_down_until = Some((unit, settle + outage));
+                self.finish_episode(settle, outage, unit);
+                self.dirty.remove(unit);
+                outcome.micro_reboots += 1;
+                outcome.recoveries += 1;
+                telemetry.count(settle, "core.reboot.micro", 1);
+                return tv.announce_unit(settle, unit);
+            }
+            // No validated generation left: climb to the full-restart
+            // rung for this episode.
+            telemetry.count(settle, "core.reboot.micro_escalations", 1);
+        }
+        let mut announcements = Vec::new();
+        for u in TvSystem::UNITS {
+            match self.vault.restore_latest(u) {
+                RestoreOutcome::Restored { state, .. } => {
+                    tv.restore_unit(u, &state);
+                }
+                // No usable checkpoint: power-on defaults.
+                _ => {
+                    tv.reset_unit(u);
+                }
+            }
+            self.dirty.remove(u);
+            // A full restart has no replay: post-checkpoint context is
+            // lost, which is exactly its cost.
+            self.journal.remove(u);
+            announcements.extend(tv.announce_unit(settle, u));
+        }
+        let outage = self.cfg.full_restart_outage;
+        self.all_down_until = Some(settle + outage);
+        self.finish_episode(settle, outage, unit);
+        outcome.full_restarts += 1;
+        outcome.recoveries += 1;
+        telemetry.count(settle, "core.reboot.full", 1);
+        announcements
+    }
+
+    fn finish_episode(&mut self, settle: SimTime, outage: SimDuration, unit: &'static str) {
+        self.outage_unit = Some(unit);
+        self.mttr_total_ns += outage.as_nanos();
+        self.episodes += 1;
+        self.next_allowed = settle + outage + self.cfg.min_between;
+    }
+
+    fn mean_mttr(&self) -> Option<SimDuration> {
+        (self.episodes > 0).then(|| SimDuration::from_nanos(self.mttr_total_ns / self.episodes))
     }
 }
 
@@ -143,6 +432,7 @@ pub struct TvDependabilityLoop {
     reliable: bool,
     supervision: Option<SupervisorConfig>,
     online_diagnosis_k: Option<usize>,
+    unit_recovery: Option<UnitRecoveryConfig>,
     telemetry: Telemetry,
 }
 
@@ -169,6 +459,7 @@ impl TvDependabilityLoop {
             reliable: false,
             supervision: None,
             online_diagnosis_k: None,
+            unit_recovery: None,
             telemetry: Telemetry::off(),
         }
     }
@@ -212,6 +503,14 @@ impl TvDependabilityLoop {
     /// escalation ladder).
     pub fn supervised(&mut self, config: SupervisorConfig) {
         self.supervision = Some(config);
+    }
+
+    /// Installs structural unit recovery: crash-consistent per-unit
+    /// checkpoints, journal replay, and a reboot ladder that replaces the
+    /// targeted repair strategy. Closed loop only; the open loop has no
+    /// detections to react to, so the config is ignored there.
+    pub fn unit_recovery(&mut self, config: UnitRecoveryConfig) {
+        self.unit_recovery = Some(config);
     }
 
     /// Enables in-loop spectrum diagnosis with a `top_k`-sized suspect
@@ -266,6 +565,16 @@ impl TvDependabilityLoop {
             d
         });
 
+        // Structural unit recovery (closed loop only): checkpoint vault,
+        // press journals, outage tracking.
+        let mut recovery = self
+            .closed
+            .then(|| {
+                self.unit_recovery
+                    .map(|cfg| RecoveryState::new(cfg, self.seed))
+            })
+            .flatten();
+
         let mut outcome = LoopOutcome {
             steps: 0,
             failure_steps: 0,
@@ -277,6 +586,13 @@ impl TvDependabilityLoop {
             safe_mode_entries: 0,
             diagnoses_triggered: 0,
             top_suspects: Vec::new(),
+            lost_presses: 0,
+            lost_presses_unaffected: 0,
+            micro_reboots: 0,
+            full_restarts: 0,
+            reboot_mttr: None,
+            checkpoint_generations: Vec::new(),
+            ladder_rung: 0,
         };
         let mut first_fault_at: Option<SimTime> = None;
         let mut first_detect_at: Option<SimTime> = None;
@@ -301,8 +617,35 @@ impl TvDependabilityLoop {
                 }
             }
 
+            // A reboot outage swallows presses aimed at a down unit:
+            // the SUO never sees them and neither does the monitor (the
+            // desired behaviour still advances below, so the loss is
+            // user-visible).
+            let serving = recovery.as_ref().map(|_| tv.serving_unit(*key));
+            let dropped = match (recovery.as_mut(), serving) {
+                (Some(rs), Some(unit)) if rs.is_down(*at, unit) => {
+                    outcome.lost_presses += 1;
+                    if rs.outage_unit != Some(unit) {
+                        outcome.lost_presses_unaffected += 1;
+                    }
+                    self.telemetry.count(*at, "core.reboot.lost_press", 1);
+                    true
+                }
+                _ => false,
+            };
+
             // Drive the SUO.
-            let observations = tv.press(*at, *key);
+            let observations = if dropped {
+                Vec::new()
+            } else {
+                tv.press(*at, *key)
+            };
+            if !dropped {
+                if let (Some(rs), Some(unit)) = (recovery.as_mut(), serving) {
+                    // Journal the press for post-restore reconciliation.
+                    rs.journal.entry(unit).or_default().push(*key);
+                }
+            }
             for obs in &observations {
                 if let Some((name, value)) = obs.as_output() {
                     sys_state.insert(name.to_owned(), value.clone());
@@ -320,7 +663,8 @@ impl TvDependabilityLoop {
             }
 
             // Closed loop: observation, detection, correction.
-            if let (Some(monitor), Some(mode_detector)) = (monitor.as_mut(), mode_detector.as_mut())
+            if let (false, Some(monitor), Some(mode_detector)) =
+                (dropped, monitor.as_mut(), mode_detector.as_mut())
             {
                 let mut detector_errors: Vec<ErrorEvent> = Vec::new();
                 for obs in &observations {
@@ -348,30 +692,57 @@ impl TvDependabilityLoop {
                 let recoveries_before = outcome.recoveries;
                 // Correction strategy: map errors to SUO repair actions.
                 let mut repair_obs: Vec<Observation> = Vec::new();
-                let mut resynced = false;
-                for err in &detector_errors {
-                    if err.detector.starts_with("mode-consistency") && !resynced {
-                        repair_obs.extend(tv.resync_teletext(settle));
-                        resynced = true;
-                        outcome.recoveries += 1;
-                    }
-                }
-                for err in &comparator_errors {
-                    match err.observable.as_str() {
-                        "audio.muted" | "volume" => {
-                            let want_muted = ref_state
-                                .get("audio.muted")
-                                .and_then(Value::as_bool)
-                                .unwrap_or(false);
-                            repair_obs.extend(tv.force_audio(settle, want_muted));
-                            outcome.recoveries += 1;
+                if let Some(rs) = recovery.as_mut() {
+                    // Structural recovery: attribute every error to the
+                    // pipeline unit it indicts, then reboot the faulty
+                    // unit (micro) or the whole TV (full restart).
+                    let mut faulty: BTreeSet<&'static str> = BTreeSet::new();
+                    for err in &detector_errors {
+                        if err.detector.starts_with("mode-consistency") {
+                            faulty.insert("teletext");
                         }
-                        "teletext.page" | "screen.mode" if !resynced => {
+                    }
+                    for err in &comparator_errors {
+                        if let Some(unit) = observable_unit(&err.observable) {
+                            faulty.insert(unit);
+                        }
+                    }
+                    // Indicted units are no longer checkpoint-clean.
+                    for unit in &faulty {
+                        rs.dirty.insert(unit);
+                    }
+                    if let Some(&unit) = faulty.iter().next() {
+                        if settle >= rs.next_allowed {
+                            repair_obs =
+                                rs.recover(&mut tv, settle, unit, &mut outcome, &self.telemetry);
+                        }
+                    }
+                } else {
+                    let mut resynced = false;
+                    for err in &detector_errors {
+                        if err.detector.starts_with("mode-consistency") && !resynced {
                             repair_obs.extend(tv.resync_teletext(settle));
                             resynced = true;
                             outcome.recoveries += 1;
                         }
-                        _ => {}
+                    }
+                    for err in &comparator_errors {
+                        match err.observable.as_str() {
+                            "audio.muted" | "volume" => {
+                                let want_muted = ref_state
+                                    .get("audio.muted")
+                                    .and_then(Value::as_bool)
+                                    .unwrap_or(false);
+                                repair_obs.extend(tv.force_audio(settle, want_muted));
+                                outcome.recoveries += 1;
+                            }
+                            "teletext.page" | "screen.mode" if !resynced => {
+                                repair_obs.extend(tv.resync_teletext(settle));
+                                resynced = true;
+                                outcome.recoveries += 1;
+                            }
+                            _ => {}
+                        }
                     }
                 }
                 for obs in &repair_obs {
@@ -416,6 +787,11 @@ impl TvDependabilityLoop {
                 self.telemetry
                     .metric_incr("core.loop.user_visible_failures", 1);
             }
+            // Checkpoint cadence runs after this step's detections so a
+            // unit flagged dirty just now is never sealed.
+            if let Some(rs) = recovery.as_mut() {
+                rs.maybe_checkpoint(&tv, *at, &self.telemetry);
+            }
             // Close the step span after everything the step stamped (the
             // closed-loop settle window reaches `at + 25 ms`).
             let step_end = if self.closed {
@@ -441,10 +817,29 @@ impl TvDependabilityLoop {
             outcome.safe_mode_entries = monitor
                 .supervisor_report()
                 .map_or(0, |report| report.safe_mode_entries);
+            outcome.ladder_rung = monitor.supervisor_report().map_or(0, |report| {
+                if report.safe_mode_entries > 0 {
+                    5
+                } else if report.monitor_restarts > 0 {
+                    4
+                } else if report.micro_reboots > 0 {
+                    3
+                } else if report.channel_restarts > 0 {
+                    2
+                } else if report.retries > 0 {
+                    1
+                } else {
+                    0
+                }
+            });
             if let Some(diag) = monitor.diagnosis() {
                 outcome.diagnoses_triggered = diag.triggered_diagnoses();
                 outcome.top_suspects = diag.top_suspects().iter().map(|e| e.block).collect();
             }
+        }
+        if let Some(rs) = recovery.as_ref() {
+            outcome.checkpoint_generations = rs.vault.latest_generations();
+            outcome.reboot_mttr = rs.mean_mttr();
         }
         outcome
     }
@@ -572,6 +967,13 @@ mod tests {
             safe_mode_entries: 0,
             diagnoses_triggered: 0,
             top_suspects: Vec::new(),
+            lost_presses: 0,
+            lost_presses_unaffected: 0,
+            micro_reboots: 0,
+            full_restarts: 0,
+            reboot_mttr: None,
+            checkpoint_generations: Vec::new(),
+            ladder_rung: 0,
         };
         assert!((o.failure_ratio() - 0.3).abs() < 1e-12);
         let line = o.summary();
@@ -599,6 +1001,13 @@ mod tests {
             safe_mode_entries: 1,
             diagnoses_triggered: 3,
             top_suspects: vec![7, 40],
+            lost_presses: 12,
+            lost_presses_unaffected: 9,
+            micro_reboots: 2,
+            full_restarts: 1,
+            reboot_mttr: Some(SimDuration::from_millis(55)),
+            checkpoint_generations: vec![("audio".to_string(), 6)],
+            ladder_rung: 3,
         };
         let line = o.summary();
         assert!(line.contains("latency=20.000ms"), "{line}");
@@ -607,7 +1016,87 @@ mod tests {
             "{line}"
         );
         assert!(line.contains("safe_mode=1"), "{line}");
+        assert!(
+            line.contains("reboots=2micro/1full mttr=55.000ms"),
+            "{line}"
+        );
+        assert!(line.contains("lost=12 (9 unaffected)"), "{line}");
+        assert!(line.contains("rung=3"), "{line}");
         assert!(line.contains("diagnoses=3 prime=7"), "{line}");
+    }
+
+    fn mute_fault_schedule() -> Schedule {
+        Schedule::Between {
+            from: SimTime::from_millis(1650),
+            to: SimTime::from_millis(1750),
+        }
+    }
+
+    #[test]
+    fn micro_reboot_recovers_the_faulty_unit_without_collateral_losses() {
+        let mut looped = TvDependabilityLoop::closed(5);
+        looped.schedule_fault(mute_fault_schedule(), TvFault::MuteInversion);
+        looped.unit_recovery(UnitRecoveryConfig::micro_reboot());
+        let outcome = looped.run(&teletext_scenario());
+        assert!(outcome.micro_reboots >= 1, "{outcome:?}");
+        assert_eq!(outcome.full_restarts, 0, "{outcome:?}");
+        // Only the audio unit ever went down, and its outage is shorter
+        // than the press spacing: nothing aimed elsewhere was lost.
+        assert_eq!(outcome.lost_presses_unaffected, 0, "{outcome:?}");
+        let mttr = outcome.reboot_mttr.expect("episodes happened");
+        assert!(mttr < SimDuration::from_millis(200), "{mttr}");
+        // Healthy units kept their checkpoint cadence going.
+        assert!(!outcome.checkpoint_generations.is_empty());
+    }
+
+    #[test]
+    fn full_restart_loses_presses_on_unaffected_units() {
+        let mut looped = TvDependabilityLoop::closed(5);
+        looped.schedule_fault(mute_fault_schedule(), TvFault::MuteInversion);
+        looped.unit_recovery(UnitRecoveryConfig::full_restart());
+        let outcome = looped.run(&teletext_scenario());
+        assert!(outcome.full_restarts >= 1, "{outcome:?}");
+        assert_eq!(outcome.micro_reboots, 0, "{outcome:?}");
+        // The whole TV is down for seconds: presses meant for perfectly
+        // healthy units vanish with it.
+        assert!(outcome.lost_presses_unaffected >= 1, "{outcome:?}");
+        let mttr = outcome.reboot_mttr.expect("episodes happened");
+        assert!(mttr >= SimDuration::from_secs(4), "{mttr}");
+    }
+
+    #[test]
+    fn corrupted_checkpoint_history_escalates_to_full_restart() {
+        let telemetry = Telemetry::recording(2048);
+        let mut looped = TvDependabilityLoop::closed(5);
+        looped.set_telemetry(telemetry.clone());
+        looped.schedule_fault(mute_fault_schedule(), TvFault::MuteInversion);
+        looped.unit_recovery(UnitRecoveryConfig {
+            // Chaos corrupts every checkpoint as it is sealed: the
+            // fingerprint must reject generation after generation and
+            // the episode must climb to the full-restart rung.
+            corrupt_chance: 1.0,
+            ..UnitRecoveryConfig::micro_reboot()
+        });
+        let outcome = looped.run(&teletext_scenario());
+        assert_eq!(outcome.micro_reboots, 0, "{outcome:?}");
+        assert!(outcome.full_restarts >= 1, "{outcome:?}");
+        assert!(telemetry.counter("core.reboot.micro_escalations") >= 1);
+        assert!(telemetry.counter("core.reboot.checkpoint") >= 1);
+    }
+
+    #[test]
+    fn unit_recovery_runs_are_deterministic_per_seed() {
+        let run = || {
+            let mut looped = TvDependabilityLoop::closed(9);
+            looped.schedule_fault(mute_fault_schedule(), TvFault::MuteInversion);
+            looped.unit_recovery(UnitRecoveryConfig {
+                corrupt_chance: 0.25,
+                tear_chance: 0.25,
+                ..UnitRecoveryConfig::micro_reboot()
+            });
+            looped.run(&teletext_scenario())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   [`AdaptiveArbiter`] over `simkit::MemoryArbiter`.
 //! * A **reusable fault-tolerance library**: [`library::retry`],
 //!   [`library::CircuitBreaker`], [`library::Redundant`].
+//! * **Micro-reboot checkpoints**: [`CheckpointVault`] seals per-unit
+//!   snapshots with seed-derived fingerprints so a faulty unit can be
+//!   restored from its newest *valid* generation while the rest of the
+//!   system keeps serving — the paper's local-recovery rung below a full
+//!   restart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +31,7 @@ pub mod comm_manager;
 pub mod library;
 pub mod loadbalance;
 pub mod memarbiter;
+pub mod microreboot;
 pub mod policy;
 pub mod recovery_manager;
 pub mod unit;
@@ -35,6 +41,9 @@ pub use comm_manager::{CommManager, RestartPolicy, UnitMessage};
 pub use library::{retry, CircuitBreaker, Redundant};
 pub use loadbalance::{LoadBalancer, MigrationDecision};
 pub use memarbiter::AdaptiveArbiter;
+pub use microreboot::{
+    seal_fingerprint, CheckpointVault, RestoreOutcome, SealedSnapshot, VaultStats,
+};
 pub use policy::EscalationPolicy;
 pub use recovery_manager::{RecoveryAction, RecoveryManager, RecoveryRecord};
 pub use unit::{CounterUnit, RecoverableUnit, UnitHost, UnitStatus};

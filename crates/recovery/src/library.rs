@@ -57,7 +57,9 @@ pub enum BreakerState {
 ///
 /// After `failure_threshold` consecutive failures the breaker opens for
 /// `cooldown`; the first call after cool-down is a probe (half-open):
-/// success closes the breaker, failure re-opens it.
+/// success closes the breaker, failure re-opens it. While the probe is
+/// in flight, further calls are rejected — exactly one probe may be
+/// outstanding at a time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CircuitBreaker {
     failure_threshold: u32,
@@ -65,6 +67,7 @@ pub struct CircuitBreaker {
     consecutive_failures: u32,
     state: BreakerState,
     rejected: u64,
+    probe_in_flight: bool,
 }
 
 impl CircuitBreaker {
@@ -82,6 +85,7 @@ impl CircuitBreaker {
             consecutive_failures: 0,
             state: BreakerState::Closed,
             rejected: 0,
+            probe_in_flight: false,
         }
     }
 
@@ -90,6 +94,7 @@ impl CircuitBreaker {
         if let BreakerState::Open { until } = self.state {
             if now >= until {
                 self.state = BreakerState::HalfOpen;
+                self.probe_in_flight = false;
             }
         }
         self.state
@@ -101,9 +106,21 @@ impl CircuitBreaker {
     }
 
     /// True if a call may proceed at `now`.
+    ///
+    /// In half-open, exactly one probe is admitted until its outcome is
+    /// [`CircuitBreaker::record`]ed; concurrent callers are rejected.
     pub fn allows(&mut self, now: SimTime) -> bool {
         match self.state(now) {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    self.rejected += 1;
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
             BreakerState::Open { .. } => {
                 self.rejected += 1;
                 false
@@ -113,6 +130,7 @@ impl CircuitBreaker {
 
     /// Records the outcome of a permitted call.
     pub fn record(&mut self, now: SimTime, success: bool) {
+        self.probe_in_flight = false;
         match (self.state(now), success) {
             (BreakerState::HalfOpen, true) | (BreakerState::Closed, true) => {
                 self.consecutive_failures = 0;
@@ -245,6 +263,39 @@ mod tests {
         assert!(b.allows(SimTime::from_millis(100)));
         b.record(SimTime::from_millis(100), true);
         assert_eq!(b.state(SimTime::from_millis(100)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_half_open_admits_exactly_one_probe() {
+        let mut b = CircuitBreaker::new(1, SimDuration::from_millis(100));
+        b.record(SimTime::ZERO, false);
+        let t = SimTime::from_millis(100);
+        // Cooldown elapsed: the first caller gets the probe slot ...
+        assert!(b.allows(t));
+        // ... and every concurrent caller is rejected while it is in
+        // flight (this used to admit unlimited probes).
+        assert!(!b.allows(t), "second probe must be rejected");
+        assert!(!b.allows(t), "third probe must be rejected");
+        assert_eq!(b.rejected(), 2);
+        // The probe's outcome frees the slot: success closes the breaker
+        // and traffic flows again.
+        b.record(t, true);
+        assert_eq!(b.state(t), BreakerState::Closed);
+        assert!(b.allows(t));
+        assert!(b.allows(t));
+        assert_eq!(b.rejected(), 2);
+    }
+
+    #[test]
+    fn breaker_failed_probe_frees_slot_after_next_cooldown() {
+        let mut b = CircuitBreaker::new(1, SimDuration::from_millis(100));
+        b.record(SimTime::ZERO, false);
+        assert!(b.allows(SimTime::from_millis(100)));
+        b.record(SimTime::from_millis(100), false);
+        // Re-opened; after the next cooldown a fresh probe is admitted
+        // even though the previous probe failed.
+        assert!(b.allows(SimTime::from_millis(200)));
+        assert!(!b.allows(SimTime::from_millis(200)));
     }
 
     #[test]

@@ -2,10 +2,31 @@
 
 use proptest::prelude::*;
 use recovery::{
-    CircuitBreaker, CommManager, CounterUnit, EscalationPolicy, RecoveryAction, RecoveryManager,
-    RestartPolicy, UnitHost, UnitMessage,
+    CheckpointStore, CheckpointVault, CircuitBreaker, CommManager, CounterUnit, EscalationPolicy,
+    RecoveryAction, RecoveryManager, RestartPolicy, RestoreOutcome, Snapshot, UnitHost,
+    UnitMessage,
 };
 use simkit::{SimDuration, SimTime};
+
+/// A non-empty snapshot built from generated (key index, bits) pairs;
+/// values go through `f64::from_bits` so every bit pattern (NaN payloads
+/// included) is exercised. Duplicate key indices collapse, so the result
+/// may be smaller than `pairs` but never empty.
+fn snapshot_from_pairs(pairs: &[(u8, u64)]) -> Snapshot {
+    pairs
+        .iter()
+        .map(|(k, bits)| (format!("key{k}"), f64::from_bits(*bits)))
+        .collect()
+}
+
+/// Byte-identical comparison: key-for-key, bit-for-bit (plain `==` would
+/// call NaN != NaN).
+fn bits_equal(a: &Snapshot, b: &Snapshot) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ka, va), (kb, vb))| ka == kb && va.to_bits() == vb.to_bits())
+}
 
 fn msg(to: &str) -> UnitMessage {
     UnitMessage {
@@ -137,5 +158,112 @@ proptest! {
             .iter()
             .fold(SimDuration::ZERO, |acc, r| acc + r.outage);
         prop_assert_eq!(from_log, manager.total_outage());
+    }
+
+    /// Checkpoint round-trip: whatever bit patterns go into a store come
+    /// back byte-identical from `latest` — no canonicalisation, no drift.
+    #[test]
+    fn checkpoint_store_round_trips_byte_identical(
+        pairs in prop::collection::vec((0u8..26, any::<u64>()), 1..8)
+    ) {
+        let state = snapshot_from_pairs(&pairs);
+        let mut store = CheckpointStore::new(4);
+        store.save("unit", SimTime::from_millis(3), state.clone());
+        let back = store.latest("unit").expect("just saved");
+        prop_assert!(bits_equal(back, &state));
+
+        // The sealed vault upholds the same contract through a restore.
+        let mut vault = CheckpointVault::new(99, 4);
+        vault.save("unit", SimTime::from_millis(3), state.clone());
+        match vault.restore_latest("unit") {
+            RestoreOutcome::Restored { state: restored, skipped, .. } => {
+                prop_assert!(bits_equal(&restored, &state));
+                prop_assert_eq!(skipped, 0);
+            }
+            other => prop_assert!(false, "expected restore, got {other:?}"),
+        }
+    }
+
+    /// `at_or_before` always returns the newest retained checkpoint not
+    /// newer than the query time, and nothing when all retained
+    /// checkpoints are newer.
+    #[test]
+    fn at_or_before_respects_ordering(
+        capacity in 1usize..6,
+        gaps in prop::collection::vec(1u64..50, 1..20),
+        query_ms in 0u64..1_000,
+    ) {
+        let mut store = CheckpointStore::new(capacity);
+        let mut times = Vec::new();
+        let mut t = 0u64;
+        for (i, gap) in gaps.iter().enumerate() {
+            t += gap; // strictly increasing capture times
+            let mut s = Snapshot::new();
+            s.insert("i".into(), i as f64);
+            store.save("u", SimTime::from_millis(t), s);
+            times.push(t);
+        }
+        let retained = &times[times.len().saturating_sub(capacity)..];
+        let query = SimTime::from_millis(query_ms);
+        let expect = retained
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, t)| SimTime::from_millis(**t) <= query)
+            .map(|(i, _)| (times.len() - retained.len() + i) as f64);
+        let got = store.at_or_before("u", query).map(|s| s["i"]);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Eviction keeps exactly the newest `capacity` generations: count
+    /// never exceeds capacity, the newest generation is always the last
+    /// saved, and the vault's eviction counter matches the overflow.
+    #[test]
+    fn eviction_keeps_newest_capacity(
+        capacity in 1usize..5,
+        saves in 1usize..12,
+    ) {
+        let mut vault = CheckpointVault::new(7, capacity);
+        let mut last = 0;
+        for i in 0..saves {
+            let mut s = Snapshot::new();
+            s.insert("v".into(), i as f64);
+            last = vault.save("u", SimTime::from_millis(i as u64), s);
+        }
+        prop_assert_eq!(vault.count("u"), saves.min(capacity));
+        prop_assert_eq!(vault.latest_generation("u"), Some(last));
+        prop_assert_eq!(vault.stats().evicted, saves.saturating_sub(capacity) as u64);
+        // The retained head restores to the last saved value.
+        match vault.restore_latest("u") {
+            RestoreOutcome::Restored { generation, state, .. } => {
+                prop_assert_eq!(generation, last);
+                prop_assert_eq!(state["v"], (saves - 1) as f64);
+            }
+            other => prop_assert!(false, "expected restore, got {other:?}"),
+        }
+    }
+
+    /// Any single-bit flip in a sealed value is caught by the
+    /// fingerprint: the corrupted generation is never served, and the
+    /// vault falls back to the intact one underneath.
+    #[test]
+    fn single_bit_corruption_is_always_detected(
+        bit in 0u32..64,
+        pairs in prop::collection::vec((0u8..26, 0u64..1_000), 1..6)
+    ) {
+        let state = snapshot_from_pairs(&pairs);
+        let mut vault = CheckpointVault::new(13, 4);
+        vault.save("u", SimTime::from_millis(1), state.clone());
+        vault.save("u", SimTime::from_millis(2), state.clone());
+        prop_assert!(vault.corrupt_latest("u", bit));
+        match vault.restore_latest("u") {
+            RestoreOutcome::Restored { state: restored, skipped, time, .. } => {
+                prop_assert_eq!(skipped, 1, "corrupt head must be skipped");
+                prop_assert_eq!(time, SimTime::from_millis(1));
+                prop_assert!(bits_equal(&restored, &state));
+            }
+            other => prop_assert!(false, "expected fallback, got {other:?}"),
+        }
+        prop_assert_eq!(vault.stats().corrupt_detected, 1);
     }
 }

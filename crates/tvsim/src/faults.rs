@@ -50,6 +50,20 @@ impl TvFault {
         }
     }
 
+    /// The pipeline unit the fault lives in — the micro-reboot target
+    /// when the awareness loop localizes an error to this fault. Matches
+    /// [`TvSystem::UNITS`](crate::TvSystem::UNITS).
+    pub fn unit(self) -> &'static str {
+        match self {
+            TvFault::TeletextSyncLoss | TvFault::TeletextRenderFault => "teletext",
+            TvFault::StuckVolume | TvFault::MuteInversion => "audio",
+            TvFault::ChannelSkip => "tuner",
+            TvFault::MenuFreeze => "screen",
+            TvFault::SleepTimerLost => "sleep",
+            TvFault::SwivelStuck => "swivel",
+        }
+    }
+
     /// Every injectable fault.
     pub const ALL: [TvFault; 8] = [
         TvFault::TeletextSyncLoss,

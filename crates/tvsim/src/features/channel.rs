@@ -98,6 +98,34 @@ impl ChannelTuner {
         let target = if d == 0 { 10 } else { d as i64 };
         self.retune(ctx, target);
     }
+
+    /// Micro-reboot checkpoint: channel state plus the child-lock set
+    /// (one `locked.N` key per locked channel).
+    pub fn snapshot(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut s = std::collections::BTreeMap::new();
+        s.insert("current".to_string(), self.current as f64);
+        s.insert("previous".to_string(), self.previous as f64);
+        for ch in &self.locked {
+            s.insert(format!("locked.{ch}"), 1.0);
+        }
+        s
+    }
+
+    /// Micro-reboot restore: rebuilds the tuner from a checkpoint.
+    pub fn restore(&mut self, s: &std::collections::BTreeMap<String, f64>) {
+        let d = ChannelTuner::default();
+        self.current = s
+            .get("current")
+            .map_or(d.current, |v| (*v as i64).clamp(1, MAX_CHANNEL));
+        self.previous = s
+            .get("previous")
+            .map_or(d.previous, |v| (*v as i64).clamp(1, MAX_CHANNEL));
+        self.locked = s
+            .iter()
+            .filter(|(_, v)| **v != 0.0)
+            .filter_map(|(k, _)| k.strip_prefix("locked.").and_then(|n| n.parse().ok()))
+            .collect();
+    }
 }
 
 #[cfg(test)]

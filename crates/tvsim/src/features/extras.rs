@@ -88,6 +88,35 @@ impl SleepTimer {
         self.minutes = 0;
         self.fires_at = None;
     }
+
+    /// Micro-reboot checkpoint: configured minutes plus the armed expiry
+    /// instant (nanoseconds; `armed` gates it).
+    pub fn snapshot(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut s = std::collections::BTreeMap::new();
+        s.insert("minutes".to_string(), self.minutes as f64);
+        s.insert(
+            "armed".to_string(),
+            f64::from(u8::from(self.fires_at.is_some())),
+        );
+        s.insert(
+            "fires_at_ns".to_string(),
+            self.fires_at.map_or(0.0, |t| t.as_nanos() as f64),
+        );
+        s
+    }
+
+    /// Micro-reboot restore: rebuilds the timer from a checkpoint.
+    pub fn restore(&mut self, s: &std::collections::BTreeMap<String, f64>) {
+        self.minutes = s
+            .get("minutes")
+            .map_or(0, |v| (*v as u64).min(SLEEP_MAX_MIN));
+        let armed = s.get("armed").is_some_and(|v| *v != 0.0);
+        self.fires_at = if armed {
+            s.get("fires_at_ns").map(|v| SimTime::from_nanos(*v as u64))
+        } else {
+            None
+        };
+    }
 }
 
 /// Swivel step per key press, degrees.
@@ -125,6 +154,20 @@ impl Swivel {
         }
         ctx.exec(FirmwareOp::Motor, (self.angle + SWIVEL_MAX) as u32);
         ctx.output("swivel.angle", self.angle);
+    }
+
+    /// Micro-reboot checkpoint: the motor angle.
+    pub fn snapshot(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut s = std::collections::BTreeMap::new();
+        s.insert("angle".to_string(), self.angle as f64);
+        s
+    }
+
+    /// Micro-reboot restore: rebuilds the swivel from a checkpoint.
+    pub fn restore(&mut self, s: &std::collections::BTreeMap<String, f64>) {
+        self.angle = s
+            .get("angle")
+            .map_or(0, |v| (*v as i64).clamp(-SWIVEL_MAX, SWIVEL_MAX));
     }
 }
 

@@ -188,6 +188,49 @@ impl Teletext {
         self.emit_modes(ctx);
     }
 
+    /// Re-emits the current displayed page without touching state — the
+    /// announce step after a micro-reboot restore.
+    pub fn announce(&self, ctx: &mut FeatureCtx<'_>) {
+        if self.ui_on {
+            self.render(ctx);
+        } else {
+            self.emit_off(ctx);
+        }
+    }
+
+    /// Micro-reboot checkpoint: UI/decoder modes, page, and the partial
+    /// digit-entry buffer.
+    pub fn snapshot(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut s = std::collections::BTreeMap::new();
+        s.insert("ui_on".to_string(), f64::from(u8::from(self.ui_on)));
+        s.insert("page".to_string(), self.page as f64);
+        s.insert(
+            "decoder_in_teletext".to_string(),
+            f64::from(u8::from(self.decoder_in_teletext)),
+        );
+        s.insert("entry.len".to_string(), self.entry.len() as f64);
+        for (i, d) in self.entry.iter().enumerate() {
+            s.insert(format!("entry.{i}"), f64::from(*d));
+        }
+        s
+    }
+
+    /// Micro-reboot restore: rebuilds the feature from a checkpoint.
+    pub fn restore(&mut self, s: &std::collections::BTreeMap<String, f64>) {
+        let d = Teletext::default();
+        self.ui_on = s.get("ui_on").map_or(d.ui_on, |v| *v != 0.0);
+        self.page = s
+            .get("page")
+            .map_or(d.page, |v| (*v as i64).clamp(100, 899));
+        self.decoder_in_teletext = s
+            .get("decoder_in_teletext")
+            .map_or(d.decoder_in_teletext, |v| *v != 0.0);
+        let len = s.get("entry.len").map_or(0, |v| (*v as usize).min(2));
+        self.entry = (0..len)
+            .filter_map(|i| s.get(&format!("entry.{i}")).map(|v| *v as u8))
+            .collect();
+    }
+
     /// Forces teletext off (power-off, back key).
     pub fn force_off(&mut self, ctx: &mut FeatureCtx<'_>) {
         if self.ui_on {

@@ -103,6 +103,23 @@ impl Volume {
         ctx.output("volume", self.audible());
         ctx.output("audio.muted", self.muted as i64);
     }
+
+    /// Micro-reboot checkpoint: the complete feature state as key/value
+    /// pairs.
+    pub fn snapshot(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut s = std::collections::BTreeMap::new();
+        s.insert("level".to_string(), self.level as f64);
+        s.insert("muted".to_string(), f64::from(u8::from(self.muted)));
+        s
+    }
+
+    /// Micro-reboot restore: rebuilds the feature from a checkpoint
+    /// (missing keys fall back to factory defaults).
+    pub fn restore(&mut self, s: &std::collections::BTreeMap<String, f64>) {
+        let d = Volume::default();
+        self.level = (s.get("level").map_or(d.level, |v| *v as i64)).clamp(0, 100);
+        self.muted = s.get("muted").map_or(d.muted, |v| *v != 0.0);
+    }
 }
 
 #[cfg(test)]

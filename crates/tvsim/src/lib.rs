@@ -47,4 +47,4 @@ pub use koala::{tv_assembly, Assembly, Binding, ComponentDecl};
 pub use model::tv_spec_machine;
 pub use pipeline::{PipelineConfig, PipelineReport, StreamingPipeline};
 pub use remote::{Key, KeySequence};
-pub use system::TvSystem;
+pub use system::{TvSystem, UnitState};

@@ -11,6 +11,12 @@ use crate::features::FeatureCtx;
 use crate::remote::Key;
 use observe::{BlockCoverage, BlockSnapshot, Observation, ObservationKind};
 use simkit::SimTime;
+use std::collections::BTreeMap;
+
+/// A unit's checkpointable state as key/value pairs — structurally the
+/// same map `recovery::Snapshot` uses, without a dependency edge on the
+/// recovery crate.
+pub type UnitState = BTreeMap<String, f64>;
 
 /// The executable TV control software: the paper's System Under
 /// Observation for all TV-domain experiments.
@@ -317,6 +323,173 @@ impl TvSystem {
         obs
     }
 
+    // ---- micro-reboot units ----------------------------------------------
+
+    /// The independently restartable pipeline units, in checkpoint order.
+    pub const UNITS: [&'static str; 6] =
+        ["audio", "screen", "sleep", "swivel", "teletext", "tuner"];
+
+    /// The unit that would serve `key` in the current focus state — the
+    /// routing the micro-reboot journal and outage model key off.
+    pub fn serving_unit(&self, key: Key) -> &'static str {
+        match key {
+            Key::Power => "screen",
+            Key::Digit(_) => {
+                if self.screen.osd_has_focus() {
+                    "screen"
+                } else if self.teletext.is_on() {
+                    "teletext"
+                } else {
+                    "tuner"
+                }
+            }
+            Key::VolUp | Key::VolDown | Key::Mute => "audio",
+            Key::ChannelUp | Key::ChannelDown => "tuner",
+            Key::Teletext => {
+                if self.screen.osd_has_focus() {
+                    "screen"
+                } else {
+                    "teletext"
+                }
+            }
+            Key::Back => {
+                if self.screen.osd_has_focus() {
+                    "screen"
+                } else if self.teletext.is_on() {
+                    "teletext"
+                } else {
+                    "screen"
+                }
+            }
+            Key::DualScreen | Key::Menu | Key::Ok | Key::Epg | Key::Pip | Key::Source => "screen",
+            Key::SwivelLeft | Key::SwivelRight => "swivel",
+            Key::Sleep => "sleep",
+        }
+    }
+
+    /// The named unit's complete state as a checkpointable map; `None`
+    /// for an unknown unit name.
+    pub fn unit_state(&self, unit: &str) -> Option<UnitState> {
+        match unit {
+            "audio" => Some(self.volume.snapshot()),
+            "tuner" => Some(self.tuner.snapshot()),
+            "teletext" => Some(self.teletext.snapshot()),
+            "screen" => Some(self.screen.snapshot()),
+            "sleep" => Some(self.sleep.snapshot()),
+            "swivel" => Some(self.swivel.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Micro-reboot: overwrites the named unit's state from a validated
+    /// checkpoint, leaving every other unit untouched. Returns false for
+    /// an unknown unit name.
+    pub fn restore_unit(&mut self, unit: &str, state: &UnitState) -> bool {
+        match unit {
+            "audio" => self.volume.restore(state),
+            "tuner" => self.tuner.restore(state),
+            "teletext" => self.teletext.restore(state),
+            "screen" => self.screen.restore(state),
+            "sleep" => self.sleep.restore(state),
+            "swivel" => self.swivel.restore(state),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Full-restart fallback: reboots the named unit to factory defaults
+    /// (used when a unit's whole checkpoint history failed validation).
+    /// Returns false for an unknown unit name.
+    pub fn reset_unit(&mut self, unit: &str) -> bool {
+        match unit {
+            "audio" => self.volume = Volume::new(),
+            "tuner" => self.tuner = ChannelTuner::new(),
+            "teletext" => self.teletext = Teletext::new(),
+            "screen" => self.screen = ScreenManager::new(),
+            "sleep" => self.sleep = SleepTimer::new(),
+            "swivel" => self.swivel = Swivel::new(),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Announces the named unit's current state on its outputs — called
+    /// after a restore so the observation boundary (and the comparator
+    /// behind it) sees the post-reboot state. Returns the emitted
+    /// observations, empty for an unknown unit.
+    pub fn announce_unit(&mut self, now: SimTime, unit: &str) -> Vec<Observation> {
+        let mut obs = Vec::new();
+        let mut ctx = FeatureCtx {
+            now,
+            cov: &mut self.cov,
+            bank: &self.bank,
+            faults: &self.faults,
+            obs: &mut obs,
+        };
+        match unit {
+            "audio" => {
+                ctx.output("volume", self.volume.audible());
+                ctx.output("audio.muted", self.volume.is_muted() as i64);
+            }
+            "tuner" => ctx.output("channel", self.tuner.current()),
+            "teletext" => self.teletext.announce(&mut ctx),
+            "screen" => {
+                self.screen.emit_mode(&mut ctx, self.teletext.is_on());
+                ctx.output("source", self.screen.source());
+            }
+            "sleep" => ctx.output("sleep.minutes", self.sleep.minutes() as i64),
+            "swivel" => ctx.output("swivel.angle", self.swivel.angle()),
+            _ => {}
+        }
+        obs
+    }
+
+    /// Replays a journalled key press directly into the named unit's
+    /// handler, bypassing focus routing — state reconciliation after a
+    /// micro-reboot. The rest of the system already processed this press,
+    /// so cross-unit side effects are deliberately not re-run. Returns
+    /// the (discardable) observations the replay emits.
+    pub fn replay_unit_key(&mut self, now: SimTime, unit: &str, key: Key) -> Vec<Observation> {
+        let mut obs = Vec::new();
+        let mut ctx = FeatureCtx {
+            now,
+            cov: &mut self.cov,
+            bank: &self.bank,
+            faults: &self.faults,
+            obs: &mut obs,
+        };
+        match (unit, key) {
+            ("audio", Key::VolUp) => self.volume.vol_up(&mut ctx),
+            ("audio", Key::VolDown) => self.volume.vol_down(&mut ctx),
+            ("audio", Key::Mute) => self.volume.mute(&mut ctx),
+            ("tuner", Key::Digit(d)) => self.tuner.digit(&mut ctx, d),
+            ("tuner", Key::ChannelUp) => self.tuner.channel_up(&mut ctx),
+            ("tuner", Key::ChannelDown) => self.tuner.channel_down(&mut ctx),
+            ("teletext", Key::Digit(d)) if self.teletext.is_on() => {
+                self.teletext.digit(&mut ctx, d);
+            }
+            ("teletext", Key::Teletext) => self.teletext.toggle(&mut ctx),
+            ("teletext", Key::Back) => self.teletext.force_off(&mut ctx),
+            ("screen", Key::Menu) => self.screen.menu(&mut ctx, self.teletext.is_on()),
+            ("screen", Key::Epg) => self.screen.epg(&mut ctx, self.teletext.is_on()),
+            ("screen", Key::DualScreen) => {
+                self.screen.dual_toggle(&mut ctx, self.teletext.is_on());
+            }
+            ("screen", Key::Pip) => self.screen.pip_toggle(&mut ctx, self.teletext.is_on()),
+            ("screen", Key::Source) => self.screen.source_cycle(&mut ctx),
+            ("screen", Key::Back) => {
+                self.screen.back(&mut ctx, self.teletext.is_on());
+            }
+            ("sleep", Key::Sleep) => self.sleep.key(&mut ctx),
+            ("swivel", Key::SwivelLeft) => self.swivel.key(&mut ctx, true),
+            ("swivel", Key::SwivelRight) => self.swivel.key(&mut ctx, false),
+            // Power cycles and OSD-swallowed keys carry no unit-local
+            // state; replay ignores them.
+            _ => {}
+        }
+        obs
+    }
+
     fn power_on(
         volume: &mut Volume,
         tuner: &mut ChannelTuner,
@@ -558,6 +731,114 @@ mod tests {
         tv.press(SimTime::ZERO, Key::DualScreen);
         tv.press(SimTime::ZERO, Key::Teletext);
         assert_eq!(tv.screen_mode(), "dual+teletext");
+    }
+
+    #[test]
+    fn unit_snapshots_round_trip() {
+        let mut tv = on_tv();
+        tv.press(SimTime::ZERO, Key::VolUp);
+        tv.press(SimTime::ZERO, Key::Mute);
+        tv.press(SimTime::ZERO, Key::Digit(7));
+        tv.press(SimTime::ZERO, Key::Teletext);
+        tv.press(SimTime::ZERO, Key::Digit(1));
+        tv.press(SimTime::ZERO, Key::SwivelRight);
+        tv.tuner_mut().lock_channel(13);
+        let states: Vec<_> = TvSystem::UNITS
+            .iter()
+            .map(|u| (u, tv.unit_state(u).unwrap()))
+            .collect();
+        // Mutate everything, then restore each unit from its snapshot.
+        tv.press(SimTime::ZERO, Key::Digit(2));
+        tv.press(SimTime::ZERO, Key::Digit(3)); // page 123 entered
+        tv.press(SimTime::ZERO, Key::Mute);
+        tv.press(SimTime::ZERO, Key::SwivelLeft);
+        for (unit, state) in &states {
+            assert!(tv.restore_unit(unit, state), "unknown unit {unit}");
+        }
+        for (unit, state) in &states {
+            assert_eq!(&tv.unit_state(unit).unwrap(), state, "unit {unit}");
+        }
+        assert_eq!(tv.volume_level(), 25);
+        assert!(tv.is_muted());
+        assert_eq!(tv.channel(), 7);
+        assert!(tv.teletext().is_on());
+        assert!(tv.tuner_mut().is_locked(13));
+        assert_eq!(tv.swivel().angle(), 15);
+    }
+
+    #[test]
+    fn restore_touches_only_the_named_unit() {
+        let mut tv = on_tv();
+        let audio = tv.unit_state("audio").unwrap();
+        tv.press(SimTime::ZERO, Key::VolUp); // 25
+        tv.press(SimTime::ZERO, Key::Digit(9));
+        tv.restore_unit("audio", &audio);
+        assert_eq!(tv.volume_level(), 20, "audio restored");
+        assert_eq!(tv.channel(), 9, "tuner untouched");
+    }
+
+    #[test]
+    fn reset_unit_reboots_to_defaults() {
+        let mut tv = on_tv();
+        tv.press(SimTime::ZERO, Key::VolUp);
+        assert!(tv.reset_unit("audio"));
+        assert_eq!(tv.volume_level(), 20);
+        assert!(!tv.reset_unit("nonsense"));
+        assert!(tv.unit_state("nonsense").is_none());
+    }
+
+    #[test]
+    fn serving_unit_follows_focus() {
+        let mut tv = on_tv();
+        assert_eq!(tv.serving_unit(Key::Digit(5)), "tuner");
+        assert_eq!(tv.serving_unit(Key::VolUp), "audio");
+        assert_eq!(tv.serving_unit(Key::Back), "screen");
+        tv.press(SimTime::ZERO, Key::Teletext);
+        assert_eq!(tv.serving_unit(Key::Digit(5)), "teletext");
+        assert_eq!(tv.serving_unit(Key::Back), "teletext");
+        tv.press(SimTime::ZERO, Key::Menu);
+        assert_eq!(tv.serving_unit(Key::Digit(5)), "screen");
+        assert_eq!(tv.serving_unit(Key::Teletext), "screen");
+        assert_eq!(tv.serving_unit(Key::Sleep), "sleep");
+        assert_eq!(tv.serving_unit(Key::SwivelLeft), "swivel");
+    }
+
+    #[test]
+    fn announce_reemits_current_outputs() {
+        let mut tv = on_tv();
+        tv.press(SimTime::ZERO, Key::VolUp);
+        let obs = tv.announce_unit(SimTime::ZERO, "audio");
+        assert_eq!(last_output(&obs, "volume"), Some(ObsValue::Num(25.0)));
+        assert_eq!(last_output(&obs, "audio.muted"), Some(ObsValue::Num(0.0)));
+        let obs = tv.announce_unit(SimTime::ZERO, "teletext");
+        assert_eq!(
+            last_output(&obs, "teletext.page"),
+            Some(ObsValue::Num(0.0)),
+            "teletext off renders page 0"
+        );
+        assert!(tv.announce_unit(SimTime::ZERO, "bogus").is_empty());
+    }
+
+    #[test]
+    fn replay_reconciles_restored_unit() {
+        let mut tv = on_tv();
+        // Checkpoint, then two presses the journal must reapply.
+        let audio = tv.unit_state("audio").unwrap();
+        tv.press(SimTime::ZERO, Key::VolUp);
+        tv.press(SimTime::ZERO, Key::VolUp);
+        assert_eq!(tv.volume_level(), 30);
+        // Micro-reboot: restore the checkpoint, replay the journal.
+        tv.restore_unit("audio", &audio);
+        assert_eq!(tv.volume_level(), 20);
+        tv.replay_unit_key(SimTime::ZERO, "audio", Key::VolUp);
+        tv.replay_unit_key(SimTime::ZERO, "audio", Key::VolUp);
+        assert_eq!(tv.volume_level(), 30, "journal replay converges");
+        // Replay bypasses focus routing: a tuner digit retunes even
+        // though teletext has focus for live presses.
+        tv.press(SimTime::ZERO, Key::Teletext);
+        tv.replay_unit_key(SimTime::ZERO, "tuner", Key::Digit(4));
+        assert_eq!(tv.channel(), 4);
+        assert_eq!(tv.teletext().page(), 100, "teletext unaffected");
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Trace-driven failure replay: from forensic dump back to a live run.
+//!
+//! Records a seed-derived chaos campaign with the flight recorder on,
+//! captures its forensic JSONL dump (the artifact CI uploads when an
+//! invariant trips), then hands *only the dump* to `chaos::replay` —
+//! which parses the header, re-executes the campaign, and checks the
+//! replayed fingerprint is byte-identical to the recorded one. A
+//! tampered dump is replayed too, to show the mismatch is reported
+//! honestly instead of papered over.
+//!
+//! ```sh
+//! cargo run --example chaos_replay           # seed 7
+//! cargo run --example chaos_replay -- 17     # another seed
+//! ```
+
+use chaos::{check_invariants, replay_dump, CampaignSpec, ForensicReport};
+use telemetry::Telemetry;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(7);
+
+    // 1. Run the campaign with the flight recorder armed and capture
+    //    the forensic dump — one JSONL artifact, header + event tail.
+    let telemetry = Telemetry::recording(4096);
+    let outcome = CampaignSpec::from_seed(seed).run_with(&telemetry);
+    let violations = check_invariants(&outcome);
+    let report = ForensicReport::capture(&outcome, &telemetry, violations);
+    let dump = report.to_jsonl();
+    println!(
+        "== forensic dump: seed {seed}, {} line(s) ==",
+        dump.lines().count()
+    );
+    let header = dump.lines().next().expect("dump has a header");
+    println!("{header}");
+
+    // 2. Replay from the dump alone: the seed derives the campaign, the
+    //    fingerprint seals the outcome.
+    let replay = replay_dump(&dump).expect("dump parses");
+    println!();
+    println!("== replay ==");
+    println!("{}", replay.render());
+    assert!(replay.is_identical(), "engine drifted from its own dump");
+
+    // 3. Tamper with the recorded fingerprint and replay again: the
+    //    mismatch must be reported, not hidden.
+    let tampered = dump.replacen(&replay.recorded_fingerprint, "deadbeefdeadbeef", 1);
+    let caught = replay_dump(&tampered).expect("tampered dump still parses");
+    println!();
+    println!("== tampered dump ==");
+    println!("{}", caught.render());
+    assert!(!caught.is_identical(), "tampering must be caught");
+}
