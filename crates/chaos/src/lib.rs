@@ -38,11 +38,19 @@
 //! the other way: it parses such a dump back into the campaign that
 //! produced it and re-executes it, asserting a byte-identical
 //! fingerprint — trace-driven failure replay.
+//!
+//! [`fleet`] scales all of this from single campaigns to *populations*:
+//! [`run_fleet`](fleet::run_fleet) executes an arbitrary slice of specs
+//! across N self-scheduling workers, each campaign isolated with its
+//! own telemetry and audited on the worker, and merges the results in
+//! canonical seed order — the fleet fingerprint is byte-identical for
+//! every worker count, so parallelism never costs reproducibility.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod fleet;
 pub mod forensics;
 pub mod invariants;
 pub mod mttr;
@@ -50,9 +58,12 @@ pub mod replay;
 pub mod stress;
 
 pub use campaign::{CampaignOutcome, CampaignSpec, FaultPlan};
+pub use fleet::{fleet_specs, regression_fleet, run_fleet, FleetCampaignResult, FleetOutcome};
 pub use forensics::{assert_with_forensics, audit_with_forensics, ForensicReport};
 pub use invariants::{assert_invariants, check_invariants, detection_latency_bound};
-pub use mttr::{e16_campaign_from_seed, e16_campaigns};
+pub use mttr::{
+    e16_campaign_from_seed, e16_campaign_from_spec, e16_campaigns, e16_campaigns_from_seeds,
+};
 pub use replay::{replay_dump, ReplayReport};
 pub use stress::{StressOutcome, StressPlan};
 

@@ -16,11 +16,13 @@ use trader::experiments::e16_microreboot_mttr::E16Campaign;
 
 use crate::campaign::CampaignSpec;
 
-/// Maps the seed-derived campaign onto an E16 campaign.
-pub fn e16_campaign_from_seed(seed: u64) -> E16Campaign {
-    let spec = CampaignSpec::from_seed(seed);
+/// Maps an already-derived campaign spec onto an E16 campaign — the
+/// adapter the fleet generator goes through, so the MTTR sweep can run
+/// over any population (`chaos::fleet::fleet_specs`), not just the
+/// hard-coded regression list.
+pub fn e16_campaign_from_spec(spec: &CampaignSpec) -> E16Campaign {
     E16Campaign {
-        seed,
+        seed: spec.seed,
         scenario_len: spec.scenario_len,
         faults: spec
             .faults
@@ -34,10 +36,23 @@ pub fn e16_campaign_from_seed(seed: u64) -> E16Campaign {
     }
 }
 
+/// Maps the seed-derived campaign onto an E16 campaign.
+pub fn e16_campaign_from_seed(seed: u64) -> E16Campaign {
+    e16_campaign_from_spec(&CampaignSpec::from_seed(seed))
+}
+
+/// Seed-derived campaigns for any iterator of seeds. The E16 harness
+/// takes any `IntoIterator<Item = &E16Campaign>`, so a sweep over a
+/// generated fleet is
+/// `run(&e16_campaigns_from_seeds(fleet_seeds(base, n)))`.
+pub fn e16_campaigns_from_seeds(seeds: impl IntoIterator<Item = u64>) -> Vec<E16Campaign> {
+    seeds.into_iter().map(e16_campaign_from_seed).collect()
+}
+
 /// The first `n` seed-derived campaigns (the chaos regression's set is
 /// `e16_campaigns(24)`).
 pub fn e16_campaigns(n: u64) -> Vec<E16Campaign> {
-    (0..n).map(e16_campaign_from_seed).collect()
+    e16_campaigns_from_seeds(0..n)
 }
 
 #[cfg(test)]

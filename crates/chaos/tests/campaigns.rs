@@ -181,3 +181,40 @@ fn starved_supervision_escalates_to_safe_mode_in_the_loop() {
     let audit = outcome.channels.expect("closed loop audits channels");
     assert!(audit.conserved(), "{audit:?}");
 }
+
+/// The standing fleet regression: 256 seed-derived campaigns (seeds
+/// 1000..1256, disjoint from the 24 hand-audited seeds above) run
+/// through the parallel fleet executor at every regression worker
+/// count. The fleet fingerprint must be byte-identical across worker
+/// counts — the population-scale form of the bit-identical-replay
+/// contract — and every campaign must pass the full invariant audit.
+#[test]
+fn fleet_of_256_campaigns_is_worker_count_invariant_and_clean() {
+    let specs = chaos::regression_fleet();
+    assert_eq!(specs.len(), 256);
+    let sequential = chaos::run_fleet(&specs, 1);
+    sequential.assert_clean();
+    let fingerprint = sequential.fingerprint();
+    println!(
+        "fleet fingerprint {:016x} over {} campaigns",
+        fingerprint,
+        specs.len()
+    );
+    for workers in [2usize, 4, 8] {
+        let fleet = chaos::run_fleet(&specs, workers);
+        assert_eq!(
+            fleet.fingerprint(),
+            fingerprint,
+            "fleet diverged at {workers} workers"
+        );
+        fleet.assert_clean();
+    }
+    // The merged metrics view is part of the contract too.
+    assert_eq!(
+        sequential.merged_metrics().to_json().render(),
+        chaos::run_fleet(&specs, 4)
+            .merged_metrics()
+            .to_json()
+            .render()
+    );
+}

@@ -1,0 +1,85 @@
+//! Property tests for the fleet executor's determinism contract: for
+//! *any* seed-derived campaign population (including the empty and the
+//! single-campaign fleet) and *any* worker count, the fleet outcome —
+//! per-campaign fingerprints, the fleet digest, the merged metrics
+//! registry — is byte-identical to the sequential oracle. A second
+//! family pins the loop hot path: re-running a campaign with fresh
+//! scratch buffers yields a `LoopOutcome` that is equal field-for-field,
+//! not merely fingerprint-equal.
+//!
+//! Campaign runs are a few milliseconds each, so the case counts are
+//! kept deliberately small; the standing 256-campaign regression in
+//! `campaigns.rs` covers the large-population corner.
+
+use chaos::campaign::CampaignSpec;
+use chaos::fleet::{fleet_specs, run_fleet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(12))]
+
+    /// The fleet fingerprint and every per-campaign fingerprint are
+    /// invariant under the worker count, for populations from 0 up —
+    /// the empty fleet and the single-campaign fleet included.
+    #[test]
+    fn fleet_is_byte_identical_to_the_sequential_oracle(
+        base in 0u64..10_000,
+        population in 0usize..5,
+        workers in prop::sample::select(vec![2usize, 3, 8]),
+    ) {
+        let specs = fleet_specs(base, population);
+        let sequential = run_fleet(&specs, 1);
+        let parallel = run_fleet(&specs, workers);
+
+        prop_assert_eq!(sequential.fingerprint(), parallel.fingerprint());
+        prop_assert_eq!(sequential.results.len(), parallel.results.len());
+        for (seq, par) in sequential.results.iter().zip(&parallel.results) {
+            prop_assert_eq!(
+                seq.outcome.fingerprint(),
+                par.outcome.fingerprint(),
+                "seed {} diverged under {} workers",
+                seq.outcome.spec.seed,
+                workers
+            );
+            prop_assert_eq!(&seq.outcome.closed, &par.outcome.closed);
+            prop_assert_eq!(&seq.outcome.open, &par.outcome.open);
+            prop_assert_eq!(seq.forensics.is_some(), par.forensics.is_some());
+        }
+    }
+
+    /// The merged fleet `MetricsRegistry` renders to the same JSON for
+    /// every worker count: each campaign's metrics derive from its seed
+    /// alone, and the merge folds canonical order regardless of which
+    /// worker ran what.
+    #[test]
+    fn merged_metrics_are_worker_count_invariant(
+        base in 0u64..10_000,
+        population in 1usize..5,
+        workers in prop::sample::select(vec![2usize, 3, 8]),
+    ) {
+        let specs = fleet_specs(base, population);
+        let sequential = run_fleet(&specs, 1);
+        let parallel = run_fleet(&specs, workers);
+        prop_assert_eq!(
+            sequential.merged_metrics().to_json().render(),
+            parallel.merged_metrics().to_json().render()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(16))]
+
+    /// Re-running the same seed from scratch produces `LoopOutcome`s
+    /// equal field-for-field in both arms. The loop and oracle executor
+    /// reuse scratch buffers across steps; this pins that the reuse
+    /// never leaks state from one step (or one run) into the next.
+    #[test]
+    fn scratch_buffer_reuse_keeps_reruns_field_identical(seed in 0u64..50_000) {
+        let first = CampaignSpec::from_seed(seed).run();
+        let second = CampaignSpec::from_seed(seed).run();
+        prop_assert_eq!(&first.closed, &second.closed);
+        prop_assert_eq!(&first.open, &second.open);
+        prop_assert_eq!(first.fingerprint(), second.fingerprint());
+    }
+}

@@ -222,10 +222,15 @@ fn run_arm(campaign: &E16Campaign, recovery: UnitRecoveryConfig) -> LoopOutcome 
     looped.run(&scenario)
 }
 
-/// Runs E16 over `campaigns`.
-pub fn run(campaigns: &[E16Campaign]) -> E16Report {
+/// Runs E16 over `campaigns` — any iterator of campaigns works, so the
+/// sweep can run over the regression list (`&Vec<E16Campaign>`) or a
+/// lazily generated fleet population alike.
+pub fn run<'a, I>(campaigns: I) -> E16Report
+where
+    I: IntoIterator<Item = &'a E16Campaign>,
+{
     let results: Vec<E16CampaignResult> = campaigns
-        .iter()
+        .into_iter()
         .map(|campaign| E16CampaignResult {
             seed: campaign.seed,
             single_unit: campaign.single_unit(),

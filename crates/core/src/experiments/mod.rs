@@ -19,6 +19,7 @@
 //! | E14 | §4.4    | streaming + sharded diagnosis scales past 60 000 blocks |
 //! | E15 | §4.1    | flight-recorder telemetry stays within the probe budget |
 //! | E16 | §4.5    | micro-reboot recovery beats whole-system restart MTTR ≥2x |
+//! | E17 | §4.7    | parallel campaign fleets scale throughput, fingerprint-identical |
 //!
 //! Every module exposes a `run(...)` returning a serializable report with
 //! a `Display` rendering the paper-style table; `crates/bench` wraps each
@@ -31,6 +32,7 @@ pub mod e12_realtime_monitoring;
 pub mod e14_spectra_scale;
 pub mod e15_telemetry_overhead;
 pub mod e16_microreboot_mttr;
+pub mod e17_fleet_throughput;
 pub mod e1_spectra;
 pub mod e2_comparator;
 pub mod e3_mode_consistency;

@@ -14,7 +14,7 @@ use observe::{ObsValue, Observation};
 use recovery::{CheckpointVault, RestoreOutcome};
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimRng, SimTime};
-use statemachine::{Event, Executor, Machine, Value};
+use statemachine::{Event, Executor, Machine, OutputRecord, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use telemetry::Telemetry;
 use tvsim::{tv_spec_machine, Key, TvFault, TvSystem};
@@ -245,6 +245,36 @@ impl LoopOutcome {
     }
 }
 
+/// Updates one mirrored state entry in place. The hot path refreshes the
+/// same observables press after press, so the common case reuses both the
+/// existing `String` key and the existing value storage
+/// ([`ObsValue::assign_from`]); only a genuinely new observable pays for
+/// an insertion.
+fn mirror_output(state: &mut BTreeMap<String, ObsValue>, name: &str, value: &ObsValue) {
+    match state.get_mut(name) {
+        Some(slot) => slot.assign_from(value),
+        None => {
+            state.insert(name.to_owned(), value.clone());
+        }
+    }
+}
+
+/// Reusable per-run scratch buffers for the press loop. One instance
+/// lives across the whole scenario: buffers are cleared, never dropped,
+/// so steady-state presses run without allocating them anew (the fleet
+/// executor multiplies every per-step allocation by the campaign
+/// population — see `chaos::fleet`).
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Detector-raised errors for the current press.
+    detector_errors: Vec<ErrorEvent>,
+    /// Repair observations (targeted repairs or reboot announcements)
+    /// for the current press.
+    repair_obs: Vec<Observation>,
+    /// Oracle output records drained after each press.
+    oracle_outputs: Vec<OutputRecord>,
+}
+
 /// Maps a comparator observable to the pipeline unit it indicts.
 fn observable_unit(observable: &str) -> Option<&'static str> {
     match observable {
@@ -344,8 +374,10 @@ impl RecoveryState {
         }
     }
 
-    /// Runs one recovery episode for `unit` at `settle` and returns the
-    /// recovered units' announcements (fed back as observations).
+    /// Runs one recovery episode for `unit` at `settle`, appending the
+    /// recovered units' announcements (fed back as observations) into
+    /// the caller's scratch buffer instead of allocating a fresh vector
+    /// per episode.
     ///
     /// Micro-reboot restores the unit's latest validated checkpoint and
     /// replays its journal; if the whole checkpoint history fails
@@ -358,7 +390,8 @@ impl RecoveryState {
         unit: &'static str,
         outcome: &mut LoopOutcome,
         telemetry: &Telemetry,
-    ) -> Vec<Observation> {
+        announcements: &mut Vec<Observation>,
+    ) {
         if self.cfg.style == UnitRecoveryStyle::MicroReboot {
             if let RestoreOutcome::Restored { state, .. } = self.vault.restore_latest(unit) {
                 tv.restore_unit(unit, &state);
@@ -375,13 +408,13 @@ impl RecoveryState {
                 outcome.micro_reboots += 1;
                 outcome.recoveries += 1;
                 telemetry.count(settle, "core.reboot.micro", 1);
-                return tv.announce_unit(settle, unit);
+                announcements.extend(tv.announce_unit(settle, unit));
+                return;
             }
             // No validated generation left: climb to the full-restart
             // rung for this episode.
             telemetry.count(settle, "core.reboot.micro_escalations", 1);
         }
-        let mut announcements = Vec::new();
         for u in TvSystem::UNITS {
             match self.vault.restore_latest(u) {
                 RestoreOutcome::Restored { state, .. } => {
@@ -404,7 +437,6 @@ impl RecoveryState {
         outcome.full_restarts += 1;
         outcome.recoveries += 1;
         telemetry.count(settle, "core.reboot.full", 1);
-        announcements
     }
 
     fn finish_episode(&mut self, settle: SimTime, outage: SimDuration, unit: &'static str) {
@@ -596,6 +628,9 @@ impl TvDependabilityLoop {
         };
         let mut first_fault_at: Option<SimTime> = None;
         let mut first_detect_at: Option<SimTime> = None;
+        // Hoisted hot-path scratch: one allocation for the whole run
+        // instead of fresh vectors on every press.
+        let mut scratch = StepScratch::default();
 
         for (i, (at, key)) in scenario.presses().iter().enumerate() {
             self.telemetry.span_enter(*at, "core.loop.step");
@@ -648,7 +683,7 @@ impl TvDependabilityLoop {
             }
             for obs in &observations {
                 if let Some((name, value)) = obs.as_output() {
-                    sys_state.insert(name.to_owned(), value.clone());
+                    mirror_output(&mut sys_state, name, value);
                 }
             }
 
@@ -658,19 +693,29 @@ impl TvDependabilityLoop {
                 None => Event::plain(key.event_name()),
             };
             oracle.step_at(*at, &event);
-            for rec in oracle.drain_outputs() {
-                ref_state.insert(rec.name, rec.value);
+            scratch.oracle_outputs.clear();
+            oracle.drain_outputs_into(&mut scratch.oracle_outputs);
+            for rec in scratch.oracle_outputs.drain(..) {
+                // In-place overwrite keeps the established key `String`s;
+                // inserts only happen the first time an output appears.
+                match ref_state.get_mut(&rec.name) {
+                    Some(slot) => *slot = rec.value,
+                    None => {
+                        ref_state.insert(rec.name, rec.value);
+                    }
+                }
             }
 
             // Closed loop: observation, detection, correction.
             if let (false, Some(monitor), Some(mode_detector)) =
                 (dropped, monitor.as_mut(), mode_detector.as_mut())
             {
-                let mut detector_errors: Vec<ErrorEvent> = Vec::new();
+                scratch.detector_errors.clear();
                 for obs in &observations {
                     monitor.offer(obs);
-                    detector_errors.extend(mode_detector.observe(obs));
+                    scratch.detector_errors.extend(mode_detector.observe(obs));
                 }
+                let detector_errors = &scratch.detector_errors;
                 // Let channel deliveries and comparisons happen before the
                 // next press.
                 let settle = *at + SimDuration::from_millis(20);
@@ -691,13 +736,14 @@ impl TvDependabilityLoop {
                 }
                 let recoveries_before = outcome.recoveries;
                 // Correction strategy: map errors to SUO repair actions.
-                let mut repair_obs: Vec<Observation> = Vec::new();
+                scratch.repair_obs.clear();
+                let repair_obs = &mut scratch.repair_obs;
                 if let Some(rs) = recovery.as_mut() {
                     // Structural recovery: attribute every error to the
                     // pipeline unit it indicts, then reboot the faulty
                     // unit (micro) or the whole TV (full restart).
                     let mut faulty: BTreeSet<&'static str> = BTreeSet::new();
-                    for err in &detector_errors {
+                    for err in detector_errors {
                         if err.detector.starts_with("mode-consistency") {
                             faulty.insert("teletext");
                         }
@@ -713,13 +759,19 @@ impl TvDependabilityLoop {
                     }
                     if let Some(&unit) = faulty.iter().next() {
                         if settle >= rs.next_allowed {
-                            repair_obs =
-                                rs.recover(&mut tv, settle, unit, &mut outcome, &self.telemetry);
+                            rs.recover(
+                                &mut tv,
+                                settle,
+                                unit,
+                                &mut outcome,
+                                &self.telemetry,
+                                repair_obs,
+                            );
                         }
                     }
                 } else {
                     let mut resynced = false;
-                    for err in &detector_errors {
+                    for err in detector_errors {
                         if err.detector.starts_with("mode-consistency") && !resynced {
                             repair_obs.extend(tv.resync_teletext(settle));
                             resynced = true;
@@ -745,9 +797,9 @@ impl TvDependabilityLoop {
                         }
                     }
                 }
-                for obs in &repair_obs {
+                for obs in repair_obs.iter() {
                     if let Some((name, value)) = obs.as_output() {
-                        sys_state.insert(name.to_owned(), value.clone());
+                        mirror_output(&mut sys_state, name, value);
                     }
                     monitor.offer(obs);
                     let _ = mode_detector.observe(obs);
@@ -773,13 +825,21 @@ impl TvDependabilityLoop {
 
             // User-visible failure check against the oracle.
             outcome.steps += 1;
+            // Allocation-free deviation check (semantics of
+            // `ObsValue::distance` against the would-be expected value,
+            // without materializing it: text mismatch or cross-kind
+            // comparison deviates; numeric deviation beyond the epsilon
+            // deviates; a NaN expectation never does).
             let deviates = ref_state.iter().any(|(name, expected)| {
-                sys_state.get(name).is_some_and(|actual| {
-                    let expected_obs = match expected {
-                        Value::Str(s) => ObsValue::Text(s.clone()),
-                        other => ObsValue::Num(other.as_f64().unwrap_or(f64::NAN)),
-                    };
-                    expected_obs.distance(actual) > 1e-9
+                sys_state.get(name).is_some_and(|actual| match expected {
+                    Value::Str(s) => actual.as_text() != Some(s.as_str()),
+                    other => {
+                        let expected_num = other.as_f64().unwrap_or(f64::NAN);
+                        match actual.as_num() {
+                            Some(a) => (expected_num - a).abs() > 1e-9,
+                            None => true,
+                        }
+                    }
                 })
             });
             if deviates {

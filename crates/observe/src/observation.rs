@@ -30,6 +30,21 @@ impl ObsValue {
         }
     }
 
+    /// Overwrites `self` with `source`, reusing the existing `Text`
+    /// buffer when both sides are symbolic — the allocation-free
+    /// assignment the loop hot path uses to refresh its mirrored system
+    /// state on every press (`Clone::clone_from` would still allocate a
+    /// fresh `String` per update).
+    pub fn assign_from(&mut self, source: &ObsValue) {
+        match (self, source) {
+            (ObsValue::Text(dst), ObsValue::Text(src)) => {
+                dst.clear();
+                dst.push_str(src);
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+
     /// Numeric distance for comparator thresholds; text values are 0 when
     /// equal and +inf otherwise.
     pub fn distance(&self, other: &ObsValue) -> f64 {

@@ -168,13 +168,30 @@ fn cuts(n: u32, shards: usize) -> Vec<u32> {
         .collect()
 }
 
+/// Below this many blocks per shard, spawning a thread costs more than
+/// it saves (BENCH_e14 measured `thread::scope` overhead pushing small
+/// "speedups" to 0.63–0.93×), so the effective shard count is clamped
+/// to keep every worker at least this busy. Callers that default
+/// `shards` to `available_parallelism()` — the in-loop incremental
+/// diagnoser does — thereby fall back to the inline single-shard path
+/// on loop-sized matrices.
+const MIN_BLOCKS_PER_SHARD: u32 = 4_096;
+
+/// The shard count actually worth running for an `n`-block matrix.
+fn effective_shards(n: u32, requested: usize) -> usize {
+    requested.min(((n / MIN_BLOCKS_PER_SHARD) as usize).max(1))
+}
+
 /// Scores every block of `matrix` under `coefficient` across `shards`
 /// parallel workers and returns the `k` most suspicious blocks.
 ///
 /// The result is identical for every `shards` value and equals the dense
 /// ranking's `top(k)`; only wall-clock time varies. Shards beyond the
 /// hardware's parallelism still produce correct results (the OS simply
-/// time-slices them).
+/// time-slices them). Small matrices are scored inline: the effective
+/// shard count is clamped so each worker gets at least
+/// [`MIN_BLOCKS_PER_SHARD`] blocks, and a single effective shard skips
+/// `thread::scope` entirely.
 ///
 /// # Panics
 ///
@@ -187,6 +204,7 @@ pub fn score_top_k(
 ) -> TopK {
     assert!(shards > 0, "need at least one shard");
     let n = matrix.n_blocks();
+    let shards = effective_shards(n, shards);
     let bounds = cuts(n, shards);
     let mut merged: Vec<RankingEntry> = if shards == 1 {
         partition_top_k(matrix, coefficient, 0, n, k)
@@ -239,6 +257,7 @@ pub fn score_top_k_instrumented(
 ) -> TopK {
     assert!(shards > 0, "need at least one shard");
     let n = matrix.n_blocks();
+    let shards = effective_shards(n, shards);
     let bounds = cuts(n, shards);
     let mut merged: Vec<RankingEntry> = if shards == 1 {
         let started = Instant::now();
@@ -363,18 +382,34 @@ mod tests {
 
     #[test]
     fn instrumented_matches_plain_and_fills_registry() {
-        let m = sample_matrix(257);
-        for shards in [1usize, 4] {
+        // 257 blocks is below MIN_BLOCKS_PER_SHARD, so both requested
+        // shard counts run the inline single-shard path (one timing
+        // sample); the 40 960-block matrix genuinely shards.
+        for (n_blocks, shards, effective) in [(257u32, 1usize, 1u64), (257, 4, 1), (40_960, 4, 4)] {
+            let m = sample_matrix(n_blocks);
             let mut metrics = MetricsRegistry::new();
             let top = score_top_k_instrumented(&m, Coefficient::Ochiai, 5, shards, &mut metrics);
             let plain = score_top_k(&m, Coefficient::Ochiai, 5, shards);
             assert_eq!(top.entries(), plain.entries(), "shards={shards}");
-            assert_eq!(metrics.counter("spectra.topk.blocks_scored"), 257);
+            assert_eq!(
+                metrics.counter("spectra.topk.blocks_scored"),
+                i64::from(n_blocks)
+            );
             let h = metrics
                 .histogram("spectra.topk.shard_score_ns")
                 .expect("timing histogram");
-            assert_eq!(h.count(), shards as u64);
+            assert_eq!(h.count(), effective, "n={n_blocks} shards={shards}");
         }
+    }
+
+    #[test]
+    fn shard_clamp_keeps_workers_busy() {
+        assert_eq!(effective_shards(257, 8), 1);
+        assert_eq!(effective_shards(4_095, 8), 1);
+        assert_eq!(effective_shards(8_192, 8), 2);
+        assert_eq!(effective_shards(60_000, 8), 8);
+        assert_eq!(effective_shards(1_000_000, 8), 8);
+        assert_eq!(effective_shards(0, 3), 1);
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct Executor<'m> {
     started: bool,
     steps: u64,
     transitions_fired: u64,
+    /// Reusable entry-path buffer for [`Executor::fire`]; the executor
+    /// sits on the awareness loop's per-press hot path, so transition
+    /// firing must not allocate.
+    path_scratch: Vec<StateId>,
 }
 
 impl<'m> Executor<'m> {
@@ -81,6 +85,7 @@ impl<'m> Executor<'m> {
             started: false,
             steps: 0,
             transitions_fired: 0,
+            path_scratch: Vec::new(),
         }
     }
 
@@ -188,6 +193,13 @@ impl<'m> Executor<'m> {
         std::mem::take(&mut self.outputs)
     }
 
+    /// Moves the accumulated output records into `buf` (appending),
+    /// keeping the internal buffer's capacity. The allocation-free twin
+    /// of [`Executor::drain_outputs`] for callers that poll every step.
+    pub fn drain_outputs_into(&mut self, buf: &mut Vec<OutputRecord>) {
+        buf.append(&mut self.outputs);
+    }
+
     /// Advances model time to `to`, firing due `after(d)` transitions in
     /// chronological order.
     ///
@@ -198,6 +210,7 @@ impl<'m> Executor<'m> {
     pub fn advance_to(&mut self, to: SimTime) {
         assert!(self.started, "executor not started");
         assert!(to >= self.now, "model time cannot rewind");
+        let machine = self.machine;
         while let Some((due, idx)) = self
             .timer_candidates()
             .min_by_key(|(due, idx)| (*due, *idx))
@@ -208,8 +221,8 @@ impl<'m> Executor<'m> {
             if due > self.now {
                 self.now = due;
             }
-            let tr = self.machine.transitions()[idx].clone();
-            if self.guard_holds(&tr, None) {
+            let tr = &machine.transitions()[idx];
+            if self.guard_holds(tr, None) {
                 self.fire(idx, None);
                 self.run_to_completion(None);
             } else {
@@ -294,16 +307,18 @@ impl<'m> Executor<'m> {
     /// Finds the highest-priority enabled transition for `event`
     /// (or an eventless/due-timer transition when `event` is `None`).
     fn find_enabled(&mut self, event: Option<&Event>) -> Option<usize> {
-        // Inner-first: walk active chain from leaf to root.
-        let chain: Vec<StateId> = self.active.iter().rev().copied().collect();
-        for state in chain {
-            let candidates: Vec<usize> = self
-                .machine
-                .transitions()
-                .iter()
-                .enumerate()
-                .filter(|(_, tr)| tr.source == state)
-                .filter(|(_, tr)| match (&tr.trigger, event) {
+        let machine = self.machine;
+        // Inner-first: walk active chain from leaf to root. Indexed to
+        // keep `self` free for `guard_holds` without collecting the
+        // chain — this runs several times per press in the awareness
+        // loop and must not allocate.
+        for depth in (0..self.active.len()).rev() {
+            let state = self.active[depth];
+            for (idx, tr) in machine.transitions().iter().enumerate() {
+                if tr.source != state {
+                    continue;
+                }
+                let triggered = match (&tr.trigger, event) {
                     (Trigger::On(name), Some(ev)) => name == &ev.name,
                     (Trigger::Always, None) => true,
                     (Trigger::After(d), None) => {
@@ -313,12 +328,8 @@ impl<'m> Executor<'m> {
                             .is_some_and(|t| *t + *d <= self.now)
                     }
                     _ => false,
-                })
-                .map(|(idx, _)| idx)
-                .collect();
-            for idx in candidates {
-                let tr = self.machine.transitions()[idx].clone();
-                if self.guard_holds(&tr, event) {
+                };
+                if triggered && self.guard_holds(tr, event) {
                     return Some(idx);
                 }
             }
@@ -329,16 +340,16 @@ impl<'m> Executor<'m> {
     fn enter_single(&mut self, id: StateId) {
         self.active.push(id);
         self.entered_at.insert(id, self.now);
-        let entry = self.machine.state(id).entry.clone();
-        for action in &entry {
+        let machine = self.machine;
+        for action in &machine.state(id).entry {
             self.run_action(action, None);
         }
     }
 
     fn exit_single(&mut self) {
         let Some(id) = self.active.pop() else { return };
-        let exit = self.machine.state(id).exit.clone();
-        for action in &exit {
+        let machine = self.machine;
+        for action in &machine.state(id).exit {
             self.run_action(action, None);
         }
         self.entered_at.remove(&id);
@@ -346,17 +357,29 @@ impl<'m> Executor<'m> {
 
     /// Fires transition `idx` triggered by `event`.
     fn fire(&mut self, idx: usize, event: Option<&Event>) {
-        let tr = self.machine.transitions()[idx].clone();
+        let machine = self.machine;
+        let tr = &machine.transitions()[idx];
         self.transitions_fired += 1;
 
         // Scope: deepest proper ancestor common to source and target.
-        let src_anc = self.machine.ancestors(tr.source);
-        let tgt_anc = self.machine.ancestors(tr.target);
-        let lca = src_anc
-            .iter()
-            .skip(1) // proper ancestors of source
-            .find(|a| tgt_anc.iter().skip(1).any(|b| b == *a))
-            .copied();
+        // Walks parent links directly (machines are shallow) instead of
+        // materializing the two ancestor chains.
+        let lca = {
+            let mut found = None;
+            let mut a = machine.state(tr.source).parent;
+            'src: while let Some(x) = a {
+                let mut b = machine.state(tr.target).parent;
+                while let Some(y) = b {
+                    if x == y {
+                        found = Some(x);
+                        break 'src;
+                    }
+                    b = machine.state(y).parent;
+                }
+                a = machine.state(x).parent;
+            }
+            found
+        };
 
         // Exit active states innermost-first down to (excluding) the LCA.
         while let Some(&top) = self.active.last() {
@@ -381,22 +404,28 @@ impl<'m> Executor<'m> {
         }
 
         // Entry path: from below the LCA down to the target, then the
-        // target's initial descent.
-        let mut path: Vec<StateId> = Vec::new();
-        for id in self.machine.ancestors(tr.target) {
+        // target's initial descent. Reuses the scratch buffer so firing
+        // never allocates after warm-up.
+        let mut path = std::mem::take(&mut self.path_scratch);
+        path.clear();
+        let mut cur = Some(tr.target);
+        while let Some(id) = cur {
             if Some(id) == lca {
                 break;
             }
             path.push(id);
+            cur = machine.state(id).parent;
         }
         path.reverse();
-        for id in path {
+        for id in path.drain(..) {
             self.enter_single(id);
         }
+        self.path_scratch = path;
         // Descend into initial children below the target.
-        let descent = self.machine.initial_descent(tr.target);
-        for id in descent.into_iter().skip(1) {
+        let mut child = machine.state(tr.target).initial_child();
+        while let Some(id) = child {
             self.enter_single(id);
+            child = machine.state(id).initial_child();
         }
     }
 
@@ -429,7 +458,14 @@ impl<'m> Executor<'m> {
         match action {
             Action::Assign(var, expr) => match expr.eval(&self.vars, event) {
                 Ok(v) => {
-                    self.vars.insert(var.clone(), v);
+                    // Steady-state assigns overwrite in place; the key
+                    // `String` is only cloned the first time a variable
+                    // appears (hot-path: assigns run on every press).
+                    if let Some(slot) = self.vars.get_mut(var) {
+                        *slot = v;
+                    } else {
+                        self.vars.insert(var.clone(), v);
+                    }
                 }
                 Err(e) => self.errors.push(format!("assign {var}: {e}")),
             },
@@ -451,7 +487,13 @@ impl<'m> Executor<'m> {
             }
             Action::Output(name, expr) => match expr.eval(&self.vars, event) {
                 Ok(v) => {
-                    self.last_outputs.insert(name.clone(), v.clone());
+                    // Same in-place discipline as assigns: the output
+                    // name key is cloned only on first production.
+                    if let Some(slot) = self.last_outputs.get_mut(name) {
+                        slot.clone_from(&v);
+                    } else {
+                        self.last_outputs.insert(name.clone(), v.clone());
+                    }
                     self.outputs.push(OutputRecord {
                         time: self.now,
                         name: name.clone(),

@@ -268,6 +268,23 @@ impl MetricsRegistry {
         }
     }
 
+    /// Folds any number of registries into a fresh one, in iteration
+    /// order. Counter and histogram merging is associative and
+    /// commutative, so for those sections the result only depends on
+    /// the *set* of inputs — this is how a campaign fleet combines its
+    /// per-worker registries into one worker-count-invariant readout.
+    /// (Gauges remain last-writer-wins, so gauge values follow the
+    /// iteration order given here.)
+    pub fn merge_all<'a>(
+        registries: impl IntoIterator<Item = &'a MetricsRegistry>,
+    ) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for registry in registries {
+            merged.merge(registry);
+        }
+        merged
+    }
+
     /// Renders the full readout as one JSON object with `counters`,
     /// `gauges`, and `histograms` sections, names sorted — byte-identical
     /// across runs that recorded the same values regardless of the order
@@ -374,6 +391,25 @@ mod tests {
         assert_eq!(m.counter("never"), 0);
         assert_eq!(m.gauge("a.b.depth"), Some(7));
         assert_eq!(m.histogram("a.b.ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merge_all_folds_in_order_and_is_order_insensitive_for_counters() {
+        let mut a = MetricsRegistry::new();
+        a.incr("presses", 3);
+        a.observe("lat.ns", 10);
+        let mut b = MetricsRegistry::new();
+        b.incr("presses", 4);
+        b.observe("lat.ns", 90);
+        let forward = MetricsRegistry::merge_all([&a, &b]);
+        let backward = MetricsRegistry::merge_all([&b, &a]);
+        assert_eq!(forward.counter("presses"), 7);
+        assert_eq!(
+            forward.to_json().render(),
+            backward.to_json().render(),
+            "counter/histogram merging must be order-insensitive"
+        );
+        assert!(MetricsRegistry::merge_all([]).is_empty());
     }
 
     #[test]

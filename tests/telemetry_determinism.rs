@@ -86,7 +86,10 @@ fn sample_matrix(n_blocks: u32) -> CountsMatrix {
 
 #[test]
 fn sharded_scorer_metrics_merge_correctly() {
-    let matrix = sample_matrix(4_096);
+    // 32 768 blocks: large enough that the small-matrix shard clamp
+    // (4 096 blocks per shard minimum) leaves all requested shard
+    // counts intact, so the sweep genuinely exercises 1–8 workers.
+    let matrix = sample_matrix(32_768);
     for shards in [1usize, 2, 4, 8] {
         let mut metrics = MetricsRegistry::new();
         let top = score_top_k_instrumented(&matrix, Coefficient::Ochiai, 10, shards, &mut metrics);
@@ -96,7 +99,7 @@ fn sharded_scorer_metrics_merge_correctly() {
         // Counters add across shards: every block scored exactly once.
         assert_eq!(
             metrics.counter("spectra.topk.blocks_scored"),
-            4_096,
+            32_768,
             "shards={shards}"
         );
         // One timing sample per shard survives the merge.
