@@ -123,6 +123,20 @@ impl Default for SupervisorConfig {
     }
 }
 
+impl SupervisorConfig {
+    /// The six-rung ladder: the defaults with the micro-reboot rung
+    /// enabled. Chaos campaigns and the dependability scorecard both
+    /// supervise with this configuration, so the full escalation ladder
+    /// (retry → restart channels → micro-reboot → restart monitor →
+    /// safe mode) is what the regression exercises.
+    pub fn with_micro_reboot() -> Self {
+        SupervisorConfig {
+            micro_reboot: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// A structural action the supervised monitor must carry out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SupervisorAction {

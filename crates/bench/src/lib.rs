@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod trajectory;
 
 use criterion::Criterion;
 use std::time::Duration;

@@ -136,13 +136,10 @@ impl CampaignSpec {
         looped.set_channel_loss(self.loss);
         looped.use_reliable(self.reliable);
         if self.supervised {
-            // Supervised campaigns climb the five-rung ladder: the
+            // Supervised campaigns climb the full ladder: the
             // micro-reboot rung sits between the channel-restart and
             // monitor-restart rungs.
-            looped.supervised(SupervisorConfig {
-                micro_reboot: true,
-                ..SupervisorConfig::default()
-            });
+            looped.supervised(SupervisorConfig::with_micro_reboot());
         }
     }
 

@@ -1,0 +1,132 @@
+//! The deterministic work-stealing executor behind fleets and
+//! scorecards.
+//!
+//! [`fleet`](crate::fleet) introduced the pattern: N self-scheduling
+//! workers pull the next unstarted item index from a shared atomic
+//! counter, run it in isolation, and scatter results back into their
+//! canonical slots so the caller observes input order no matter which
+//! worker ran what. The scorecard grid needs the identical machinery
+//! over a different item type, so the executor lives here as a generic
+//! function and both call sites share one implementation (and one set
+//! of invariants).
+//!
+//! Scheduling order varies run to run; the canonical scatter guarantees
+//! nothing downstream can observe the difference, which is what makes
+//! fleet fingerprints and scorecard matrices worker-count-invariant by
+//! construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Runs `run` over every item of `items` across `workers` self-
+/// scheduling threads and returns the results in canonical input order.
+///
+/// `workers` is clamped to the population size (an empty slice spawns
+/// no threads); `workers <= 1` runs inline on the caller's thread —
+/// that is the sequential oracle the parallel paths are property-tested
+/// against. `run` must be a pure function of its item for the
+/// worker-count-invariance contract to hold; thread-local state (a
+/// private telemetry handle, a fresh RNG stream derived from the item)
+/// is fine because it never leaks across items.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (i.e. if `run` panics).
+pub fn scatter_map<T, R, F>(items: &[T], workers: usize, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(run).collect();
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    // Self-scheduling work queue: each worker claims the next unstarted
+    // index — cheap work stealing that keeps all cores busy however
+    // uneven the item costs are.
+    let next = AtomicUsize::new(0);
+    let worker_batches: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut batch = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(index) else {
+                            break;
+                        };
+                        batch.push((index, run(item)));
+                    }
+                    batch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("scatter_map worker panicked"))
+            .collect()
+    });
+    for (index, result) in worker_batches.into_iter().flatten() {
+        debug_assert!(slots[index].is_none(), "item {index} ran twice");
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// The worker count after [`scatter_map`]'s clamp — callers that record
+/// the executing worker count (fleet outcomes) use the same rule, so
+/// the reported number always matches what actually ran.
+pub fn effective_workers(items: usize, workers: usize) -> usize {
+    workers.clamp(1, items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn canonical_order_for_every_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = scatter_map(&items, workers, |i| i * i);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing_and_returns_empty() {
+        let ran = AtomicU64::new(0);
+        let got: Vec<u64> = scatter_map(&[], 8, |_: &u64| ran.fetch_add(1, Ordering::SeqCst));
+        assert!(got.is_empty());
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let ran = AtomicU64::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let got = scatter_map(&items, 4, |i| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            *i
+        });
+        assert_eq!(got, items);
+        assert_eq!(ran.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn effective_workers_matches_the_clamp() {
+        assert_eq!(effective_workers(0, 8), 1);
+        assert_eq!(effective_workers(3, 8), 3);
+        assert_eq!(effective_workers(100, 4), 4);
+        assert_eq!(effective_workers(5, 0), 1);
+    }
+}

@@ -15,20 +15,19 @@
 //! * its invariants are audited on the worker, while that telemetry is
 //!   still in scope, so a violation yields a full [`ForensicReport`].
 //!
-//! Workers pull the next unstarted campaign index from a shared atomic
-//! counter — cheap work stealing that keeps all cores busy however
-//! uneven the campaign lengths are — and results are scattered back
-//! into their canonical slots by index. Everything the caller sees
-//! (outcome order, merged metrics, the fleet fingerprint) is therefore
-//! **byte-identical for every worker count**, including `workers == 1`,
-//! which is the sequential oracle the property tests compare against.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::thread;
+//! The scheduling machinery itself lives in [`crate::exec`]: workers
+//! pull the next unstarted campaign index from a shared atomic counter
+//! — cheap work stealing that keeps all cores busy however uneven the
+//! campaign lengths are — and results are scattered back into their
+//! canonical slots by index. Everything the caller sees (outcome order,
+//! merged metrics, the fleet fingerprint) is therefore **byte-identical
+//! for every worker count**, including `workers == 1`, which is the
+//! sequential oracle the property tests compare against.
 
 use telemetry::{MetricsRegistry, Telemetry};
 
 use crate::campaign::{CampaignOutcome, CampaignSpec};
+use crate::exec::{effective_workers, scatter_map};
 use crate::forensics::ForensicReport;
 use crate::invariants::check_invariants;
 
@@ -157,52 +156,9 @@ fn run_one(spec: &CampaignSpec) -> FleetCampaignResult {
 /// Panics if a worker thread panics (a campaign run itself never
 /// should — "no panic" is campaign invariant 1).
 pub fn run_fleet(specs: &[CampaignSpec], workers: usize) -> FleetOutcome {
-    let workers = workers.clamp(1, specs.len().max(1));
-    if workers <= 1 {
-        return FleetOutcome {
-            results: specs.iter().map(run_one).collect(),
-            workers,
-        };
-    }
-
-    let mut slots: Vec<Option<FleetCampaignResult>> = Vec::new();
-    slots.resize_with(specs.len(), || None);
-    // Self-scheduling work queue: each worker claims the next unstarted
-    // index. Scheduling order varies run to run; the scatter below puts
-    // every result back into its canonical slot, so nothing downstream
-    // can observe the difference.
-    let next = AtomicUsize::new(0);
-    let worker_batches: Vec<Vec<(usize, FleetCampaignResult)>> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut batch = Vec::new();
-                    loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(spec) = specs.get(index) else {
-                            break;
-                        };
-                        batch.push((index, run_one(spec)));
-                    }
-                    batch
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("fleet worker panicked"))
-            .collect()
-    });
-    for (index, result) in worker_batches.into_iter().flatten() {
-        debug_assert!(slots[index].is_none(), "campaign {index} ran twice");
-        slots[index] = Some(result);
-    }
     FleetOutcome {
-        results: slots
-            .into_iter()
-            .map(|slot| slot.expect("every campaign index was claimed exactly once"))
-            .collect(),
-        workers,
+        results: scatter_map(specs, workers, run_one),
+        workers: effective_workers(specs.len(), workers),
     }
 }
 

@@ -44,20 +44,30 @@
 //! across N self-scheduling workers, each campaign isolated with its
 //! own telemetry and audited on the worker, and merges the results in
 //! canonical seed order — the fleet fingerprint is byte-identical for
-//! every worker count, so parallelism never costs reproducibility.
+//! every worker count, so parallelism never costs reproducibility. The
+//! work-stealing machinery itself is the generic
+//! [`exec::scatter_map`], shared with [`scorecard`]: the coverage
+//! matrix that *enumerates* every fault class × workload × recovery
+//! style as its own small campaign and folds the grid into a
+//! [`DependabilityScorecard`](scorecard::DependabilityScorecard) —
+//! detection rates, MTTD/MTTR histograms, collateral damage, and
+//! false-alarm twins, all worker-count-invariant.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod exec;
 pub mod fleet;
 pub mod forensics;
 pub mod invariants;
 pub mod mttr;
 pub mod replay;
+pub mod scorecard;
 pub mod stress;
 
 pub use campaign::{CampaignOutcome, CampaignSpec, FaultPlan};
+pub use exec::scatter_map;
 pub use fleet::{fleet_specs, regression_fleet, run_fleet, FleetCampaignResult, FleetOutcome};
 pub use forensics::{assert_with_forensics, audit_with_forensics, ForensicReport};
 pub use invariants::{assert_invariants, check_invariants, detection_latency_bound};
@@ -65,6 +75,10 @@ pub use mttr::{
     e16_campaign_from_seed, e16_campaign_from_spec, e16_campaigns, e16_campaigns_from_seeds,
 };
 pub use replay::{replay_dump, ReplayReport};
+pub use scorecard::{
+    run_scorecard, CellOutcome, CellSpec, DependabilityScorecard, RecoveryStyle, ScenarioKind,
+    ScorecardConfig,
+};
 pub use stress::{StressOutcome, StressPlan};
 
 /// Builds and runs the campaign for `seed`.

@@ -1,0 +1,650 @@
+//! E18 — the dependability scorecard (paper §6: "demonstrate
+//! dependability", not just engineer it).
+//!
+//! Where E16 compares recovery styles on one fault and E17 measures how
+//! fast campaign populations execute, E18 asks the coverage question:
+//! across **every** fault class × workload scenario × recovery style,
+//! does the awareness loop detect the fault, how fast, at what
+//! collateral cost — and does the fault-free twin of every cell stay
+//! silent? The harness is chaos-agnostic (this crate cannot depend on
+//! the chaos engine that depends on it): `chaos::scorecard` supplies a
+//! grid closure mapping a worker count to the full list of cell
+//! summaries, and the harness:
+//!
+//! * runs the sequential pass (1 worker) first as the oracle,
+//! * re-runs the grid at every configured worker count and requires the
+//!   cell lists to be **equal** — the matrix analogue of the fleet
+//!   fingerprint invariant ([`E18Report::matrix_deterministic`]),
+//! * folds coverage accounting (covered / partial / missed cells,
+//!   detection coverage, twin false alarms) and renders the
+//!   human-readable coverage matrix (✓ detected with p95 MTTD, ◐
+//!   partial, ✗ missed).
+//!
+//! The committed `scorecard_baseline.json` plus
+//! [`compare_with_baseline`] turn the report into a CI gate: any cell
+//! regressing beyond its tolerance band (detection rate drop, MTTD/MTTR
+//! p95 inflation, any twin false alarm) fails the build loudly.
+
+use crate::report::render_table;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use telemetry::json::Json;
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct E18Config {
+    /// Worker counts to validate matrix determinism across.
+    pub worker_counts: Vec<usize>,
+    /// Faulty runs per cell.
+    pub reps: usize,
+    /// Presses per run.
+    pub scenario_len: usize,
+    /// True selects the CI grid (one recovery layer); false the full
+    /// three-layer grid. Cell shape is identical either way, so quick
+    /// cells byte-match their full-grid counterparts.
+    pub quick: bool,
+}
+
+impl E18Config {
+    /// The full grid: 120 cells, determinism checked at 1/2/4/8
+    /// workers.
+    pub fn full() -> Self {
+        E18Config {
+            worker_counts: vec![1, 2, 4, 8],
+            reps: 3,
+            scenario_len: 32,
+            quick: false,
+        }
+    }
+
+    /// The CI grid: 40 cells (micro-reboot layer only), determinism
+    /// checked at 1 and 4 workers. `reps` and `scenario_len` must match
+    /// [`full`](Self::full) so the cells stay baseline-comparable.
+    pub fn quick() -> Self {
+        E18Config {
+            worker_counts: vec![1, 4],
+            quick: true,
+            ..Self::full()
+        }
+    }
+}
+
+/// One cell's chaos-agnostic summary: the matrix coordinates (stable
+/// kebab-case names) and every per-cell metric the baseline gate
+/// compares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E18Cell {
+    /// Fault-class name (matrix row).
+    pub fault: String,
+    /// Workload-scenario name (matrix column).
+    pub scenario: String,
+    /// Recovery-style name (matrix layer).
+    pub recovery: String,
+    /// Faulty runs executed.
+    pub reps: usize,
+    /// Faulty runs whose fault was detected.
+    pub detected: usize,
+    /// `detected / reps`.
+    pub detection_rate: f64,
+    /// MTTD p50 across reps, virtual ns (0 when never detected).
+    pub mttd_p50_ns: u64,
+    /// MTTD p95 across reps, virtual ns (0 when never detected).
+    pub mttd_p95_ns: u64,
+    /// MTTR p50 across reboot episodes, virtual ns (0 when none).
+    pub mttr_p50_ns: u64,
+    /// MTTR p95 across reboot episodes, virtual ns (0 when none).
+    pub mttr_p95_ns: u64,
+    /// Presses lost to reboots of non-faulty units, summed over reps.
+    pub collateral_lost_presses: u64,
+    /// Errors detected by the cell's fault-free twin (false alarms).
+    pub twin_detections: u64,
+    /// The cell's 64-bit replay fingerprint.
+    pub fingerprint: u64,
+}
+
+impl E18Cell {
+    /// The cell's coordinate key, `fault/scenario/recovery`.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.fault, self.scenario, self.recovery)
+    }
+}
+
+/// The E18 report: every cell, coverage accounting, and the matrix
+/// determinism verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E18Report {
+    /// Faulty runs per cell.
+    pub reps: usize,
+    /// Presses per run.
+    pub scenario_len: usize,
+    /// Worker counts the matrix was validated across.
+    pub worker_counts: Vec<usize>,
+    /// Hardware threads available to the sweep.
+    pub hardware_threads: usize,
+    /// The oracle pass's cells, canonical grid order.
+    pub cells: Vec<E18Cell>,
+    /// Cells in the grid.
+    pub total_cells: usize,
+    /// Cells where every rep detected the fault.
+    pub covered_cells: usize,
+    /// Cells where some but not all reps detected.
+    pub partial_cells: usize,
+    /// Cells where no rep detected — the revealed coverage gaps.
+    pub missed_cells: usize,
+    /// `covered_cells / total_cells`.
+    pub detection_coverage: f64,
+    /// Twin detections summed over the grid (the CI gate requires 0).
+    pub twin_false_alarms: u64,
+    /// Collateral presses lost, summed over the grid.
+    pub collateral_lost_presses: u64,
+    /// FNV-1a over the cell fingerprints in canonical order.
+    pub matrix_fingerprint: u64,
+    /// True iff every worker count reproduced the oracle's cells
+    /// exactly.
+    pub matrix_deterministic: bool,
+}
+
+/// FNV-1a fold of the cell fingerprints (the matrix fingerprint).
+fn matrix_fingerprint(cells: &[E18Cell]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(cells.len() as u64);
+    for cell in cells {
+        mix(cell.fingerprint);
+    }
+    h
+}
+
+/// Runs the sweep over `grid`, a function executing the whole coverage
+/// matrix at a given worker count and returning the cell summaries in
+/// canonical order (`chaos::scorecard` wires this to
+/// `run_scorecard(&config, workers).to_cells()`).
+///
+/// The sequential pass always runs first as the oracle, even when
+/// `worker_counts` does not list 1; every listed worker count must then
+/// reproduce the oracle's cells exactly for
+/// [`matrix_deterministic`](E18Report::matrix_deterministic) to hold.
+pub fn run<F>(config: &E18Config, mut grid: F) -> E18Report
+where
+    F: FnMut(usize) -> Vec<E18Cell>,
+{
+    let hardware_threads =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cells = grid(1);
+    let mut matrix_deterministic = true;
+    for &workers in &config.worker_counts {
+        if workers == 1 {
+            continue;
+        }
+        matrix_deterministic &= grid(workers) == cells;
+    }
+
+    let total_cells = cells.len();
+    let covered_cells = cells
+        .iter()
+        .filter(|c| c.reps > 0 && c.detected == c.reps)
+        .count();
+    let partial_cells = cells
+        .iter()
+        .filter(|c| c.detected > 0 && c.detected < c.reps)
+        .count();
+    let missed_cells = cells.iter().filter(|c| c.detected == 0).count();
+
+    E18Report {
+        reps: config.reps,
+        scenario_len: config.scenario_len,
+        worker_counts: config.worker_counts.clone(),
+        hardware_threads,
+        total_cells,
+        covered_cells,
+        partial_cells,
+        missed_cells,
+        detection_coverage: if total_cells == 0 {
+            0.0
+        } else {
+            covered_cells as f64 / total_cells as f64
+        },
+        twin_false_alarms: cells.iter().map(|c| c.twin_detections).sum(),
+        collateral_lost_presses: cells.iter().map(|c| c.collateral_lost_presses).sum(),
+        matrix_fingerprint: matrix_fingerprint(&cells),
+        matrix_deterministic,
+        cells,
+    }
+}
+
+/// Renders one recovery layer of the coverage matrix: fault rows ×
+/// scenario columns, each cell `✓ <p95 MTTD>` when every rep detected,
+/// `◐ d/r` when some did, `✗` when none did (`!n` flags twin false
+/// alarms — there should never be any).
+pub fn render_matrix(cells: &[E18Cell], recovery: &str) -> String {
+    let layer: Vec<&E18Cell> = cells.iter().filter(|c| c.recovery == recovery).collect();
+    let mut faults: Vec<&str> = Vec::new();
+    let mut scenarios: Vec<&str> = Vec::new();
+    for cell in &layer {
+        if !faults.contains(&cell.fault.as_str()) {
+            faults.push(&cell.fault);
+        }
+        if !scenarios.contains(&cell.scenario.as_str()) {
+            scenarios.push(&cell.scenario);
+        }
+    }
+    let mut header: Vec<&str> = vec!["fault \\ scenario"];
+    header.extend(scenarios.iter());
+    let rows: Vec<Vec<String>> = faults
+        .iter()
+        .map(|fault| {
+            let mut row = vec![(*fault).to_owned()];
+            for scenario in &scenarios {
+                let cell = layer
+                    .iter()
+                    .find(|c| c.fault == *fault && c.scenario == *scenario);
+                row.push(match cell {
+                    None => "·".to_owned(),
+                    Some(c) => {
+                        let mut text = if c.reps > 0 && c.detected == c.reps {
+                            format!("✓ {:.1}ms", c.mttd_p95_ns as f64 / 1e6)
+                        } else if c.detected > 0 {
+                            format!("◐ {}/{}", c.detected, c.reps)
+                        } else {
+                            "✗".to_owned()
+                        };
+                        if c.twin_detections > 0 {
+                            text.push_str(&format!(" !{}", c.twin_detections));
+                        }
+                        text
+                    }
+                });
+            }
+            row
+        })
+        .collect();
+    format!("recovery: {recovery}\n{}", render_table(&header, &rows))
+}
+
+impl fmt::Display for E18Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E18 dependability scorecard: {} cells ({} covered, {} partial, {} missed, \
+             coverage {:.0}%), {} twin false alarm(s), fingerprint {:016x}, {}:",
+            self.total_cells,
+            self.covered_cells,
+            self.partial_cells,
+            self.missed_cells,
+            self.detection_coverage * 100.0,
+            self.twin_false_alarms,
+            self.matrix_fingerprint,
+            if self.matrix_deterministic {
+                "deterministic"
+            } else {
+                "NONDETERMINISTIC"
+            }
+        )?;
+        let mut recoveries: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            if !recoveries.contains(&cell.recovery.as_str()) {
+                recoveries.push(&cell.recovery);
+            }
+        }
+        for (i, recovery) in recoveries.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}", render_matrix(&self.cells, recovery))?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-metric tolerance band for the baseline gate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tolerance {
+    /// Allowed absolute drop in a cell's detection rate.
+    pub detection_rate_drop: f64,
+    /// Allowed multiplicative inflation of MTTD p95.
+    pub mttd_p95_inflate: f64,
+    /// Allowed multiplicative inflation of MTTR p95.
+    pub mttr_p95_inflate: f64,
+}
+
+impl Default for Tolerance {
+    /// The default band: no detection-rate drop at all (the grid is
+    /// bit-deterministic, so any drop is a real behaviour change) and
+    /// 50% headroom on latency percentiles for intentional recovery
+    /// retuning.
+    fn default() -> Self {
+        Tolerance {
+            detection_rate_drop: 0.0,
+            mttd_p95_inflate: 1.5,
+            mttr_p95_inflate: 1.5,
+        }
+    }
+}
+
+impl Tolerance {
+    fn from_json(json: &Json, base: Tolerance) -> Tolerance {
+        let f = |key: &str, fallback: f64| json.get(key).and_then(Json::as_f64).unwrap_or(fallback);
+        Tolerance {
+            detection_rate_drop: f("detection_rate_drop", base.detection_rate_drop),
+            mttd_p95_inflate: f("mttd_p95_inflate", base.mttd_p95_inflate),
+            mttr_p95_inflate: f("mttr_p95_inflate", base.mttr_p95_inflate),
+        }
+    }
+}
+
+/// The baseline gate's verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineVerdict {
+    /// Cells compared against a baseline entry.
+    pub compared: usize,
+    /// Human-readable regression descriptions (empty = gate passes).
+    pub regressions: Vec<String>,
+    /// Baseline cells absent from the current run (counted as
+    /// regressions — a vanished cell is silent coverage loss).
+    pub missing: Vec<String>,
+}
+
+impl BaselineVerdict {
+    /// True iff no regression and nothing missing.
+    pub fn passes(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Total failure count (`regressions + missing`) — the number CI
+    /// greps for as `"scorecard_regressions"`.
+    pub fn failures(&self) -> usize {
+        self.regressions.len() + self.missing.len()
+    }
+}
+
+/// Compares `cells` against a parsed `scorecard_baseline.json`.
+///
+/// Baseline format: `{"format": "scorecard-baseline-v1", "tolerance":
+/// {...}, "class_tolerance": {"<fault>": {...}}, "cells": [...]}` where
+/// each baseline cell carries the same coordinate names and metrics as
+/// [`E18Cell`]. Per-fault-class entries in `class_tolerance` override
+/// the global band. Rules per matched cell:
+///
+/// * `detection_rate >= baseline - detection_rate_drop`,
+/// * when both runs detected: `mttd_p95 <= baseline * mttd_p95_inflate`
+///   (and likewise MTTR when both rebooted),
+/// * `twin_detections == 0`, always — false alarms have no tolerance.
+///
+/// With `require_all`, baseline cells with no current counterpart land
+/// in [`BaselineVerdict::missing`] (a vanished cell is silent coverage
+/// loss); without it they are skipped — the CI quick grid runs one
+/// recovery layer against the committed full-grid baseline and only its
+/// own cells are judged. Current cells not in the baseline are always
+/// ignored (new cells are new evidence, not regressions).
+pub fn compare_with_baseline(
+    cells: &[E18Cell],
+    baseline: &Json,
+    require_all: bool,
+) -> BaselineVerdict {
+    let global = baseline
+        .get("tolerance")
+        .map_or_else(Tolerance::default, |t| {
+            Tolerance::from_json(t, Tolerance::default())
+        });
+    let class_tolerance = baseline.get("class_tolerance");
+    let tolerance_for = |fault: &str| -> Tolerance {
+        class_tolerance
+            .and_then(|c| c.get(fault))
+            .map_or(global, |t| Tolerance::from_json(t, global))
+    };
+
+    let mut verdict = BaselineVerdict {
+        compared: 0,
+        regressions: Vec::new(),
+        missing: Vec::new(),
+    };
+    let baseline_cells = baseline.get("cells").map_or(&[][..], |c| c.items());
+    for base in baseline_cells {
+        let (Some(fault), Some(scenario), Some(recovery)) = (
+            base.get("fault").and_then(Json::as_str),
+            base.get("scenario").and_then(Json::as_str),
+            base.get("recovery").and_then(Json::as_str),
+        ) else {
+            verdict
+                .missing
+                .push("baseline cell without coordinates".to_owned());
+            continue;
+        };
+        let key = format!("{fault}/{scenario}/{recovery}");
+        let Some(cell) = cells
+            .iter()
+            .find(|c| c.fault == fault && c.scenario == scenario && c.recovery == recovery)
+        else {
+            if require_all {
+                verdict.missing.push(key);
+            }
+            continue;
+        };
+        verdict.compared += 1;
+        let tol = tolerance_for(fault);
+
+        let base_rate = base
+            .get("detection_rate")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if cell.detection_rate < base_rate - tol.detection_rate_drop - 1e-9 {
+            verdict.regressions.push(format!(
+                "{key}: detection rate {:.2} fell below baseline {:.2} (tolerance -{:.2})",
+                cell.detection_rate, base_rate, tol.detection_rate_drop
+            ));
+        }
+        let base_mttd = base.get("mttd_p95_ns").and_then(Json::as_u64).unwrap_or(0);
+        if base_mttd > 0
+            && cell.mttd_p95_ns > 0
+            && cell.mttd_p95_ns as f64 > base_mttd as f64 * tol.mttd_p95_inflate
+        {
+            verdict.regressions.push(format!(
+                "{key}: MTTD p95 {}ns exceeds baseline {}ns × {:.2}",
+                cell.mttd_p95_ns, base_mttd, tol.mttd_p95_inflate
+            ));
+        }
+        let base_mttr = base.get("mttr_p95_ns").and_then(Json::as_u64).unwrap_or(0);
+        if base_mttr > 0
+            && cell.mttr_p95_ns > 0
+            && cell.mttr_p95_ns as f64 > base_mttr as f64 * tol.mttr_p95_inflate
+        {
+            verdict.regressions.push(format!(
+                "{key}: MTTR p95 {}ns exceeds baseline {}ns × {:.2}",
+                cell.mttr_p95_ns, base_mttr, tol.mttr_p95_inflate
+            ));
+        }
+        if cell.twin_detections > 0 {
+            verdict.regressions.push(format!(
+                "{key}: {} false alarm(s) on the fault-free twin",
+                cell.twin_detections
+            ));
+        }
+    }
+    verdict
+}
+
+/// Renders a report's cells as the committed baseline document.
+pub fn baseline_json(report: &E18Report) -> Json {
+    let mut cells: Vec<Json> = Vec::with_capacity(report.cells.len());
+    for cell in &report.cells {
+        cells.push(
+            Json::object()
+                .field("fault", cell.fault.as_str().into())
+                .field("scenario", cell.scenario.as_str().into())
+                .field("recovery", cell.recovery.as_str().into())
+                .field("reps", (cell.reps as u64).into())
+                .field("detected", (cell.detected as u64).into())
+                .field("detection_rate", cell.detection_rate.into())
+                .field("mttd_p50_ns", cell.mttd_p50_ns.into())
+                .field("mttd_p95_ns", cell.mttd_p95_ns.into())
+                .field("mttr_p50_ns", cell.mttr_p50_ns.into())
+                .field("mttr_p95_ns", cell.mttr_p95_ns.into())
+                .field(
+                    "collateral_lost_presses",
+                    cell.collateral_lost_presses.into(),
+                )
+                .field("twin_detections", cell.twin_detections.into())
+                .field("fingerprint", format!("{:016x}", cell.fingerprint).into()),
+        );
+    }
+    Json::object()
+        .field("format", "scorecard-baseline-v1".into())
+        .field(
+            "tolerance",
+            Json::object()
+                .field("detection_rate_drop", 0.0.into())
+                .field("mttd_p95_inflate", 1.5.into())
+                .field("mttr_p95_inflate", 1.5.into()),
+        )
+        .field("class_tolerance", Json::object())
+        .field(
+            "matrix_fingerprint",
+            format!("{:016x}", report.matrix_fingerprint).into(),
+        )
+        .field("cells", cells.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(fault: &str, scenario: &str, detected: usize) -> E18Cell {
+        E18Cell {
+            fault: fault.to_owned(),
+            scenario: scenario.to_owned(),
+            recovery: "micro-reboot".to_owned(),
+            reps: 2,
+            detected,
+            detection_rate: detected as f64 / 2.0,
+            mttd_p50_ns: if detected > 0 { 1_000_000 } else { 0 },
+            mttd_p95_ns: if detected > 0 { 2_000_000 } else { 0 },
+            mttr_p50_ns: 0,
+            mttr_p95_ns: 0,
+            collateral_lost_presses: 0,
+            twin_detections: 0,
+            fingerprint: 0xABCD ^ fault.len() as u64 ^ (detected as u64) << 8,
+        }
+    }
+
+    fn synthetic_grid(workers: usize) -> Vec<E18Cell> {
+        let _ = workers; // must NOT leak into the cells
+        vec![
+            cell("stuck-volume", "idle", 2),
+            cell("stuck-volume", "teletext", 1),
+            cell("menu-freeze", "idle", 0),
+            cell("menu-freeze", "teletext", 2),
+        ]
+    }
+
+    fn config() -> E18Config {
+        E18Config {
+            worker_counts: vec![1, 2],
+            reps: 2,
+            scenario_len: 8,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn coverage_accounting_partitions_the_cells() {
+        let report = run(&config(), synthetic_grid);
+        assert!(report.matrix_deterministic);
+        assert_eq!(report.total_cells, 4);
+        assert_eq!(report.covered_cells, 2);
+        assert_eq!(report.partial_cells, 1);
+        assert_eq!(report.missed_cells, 1);
+        assert!((report.detection_coverage - 0.5).abs() < 1e-12);
+        assert_eq!(report.twin_false_alarms, 0);
+    }
+
+    #[test]
+    fn worker_dependent_cells_are_flagged() {
+        let report = run(&config(), |workers| {
+            let mut cells = synthetic_grid(workers);
+            cells[0].fingerprint ^= workers as u64;
+            cells
+        });
+        assert!(!report.matrix_deterministic);
+    }
+
+    #[test]
+    fn display_renders_the_matrix() {
+        let report = run(&config(), synthetic_grid);
+        let text = report.to_string();
+        assert!(text.contains("recovery: micro-reboot"), "{text}");
+        assert!(text.contains("✓"), "{text}");
+        assert!(text.contains("◐ 1/2"), "{text}");
+        assert!(text.contains("✗"), "{text}");
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let width = lines[1].chars().count();
+        assert!(
+            lines.iter().skip(1).all(|l| l.chars().count() == width),
+            "matrix misaligned:\n{text}"
+        );
+    }
+
+    #[test]
+    fn baseline_round_trip_passes_its_own_gate() {
+        let report = run(&config(), synthetic_grid);
+        let baseline = baseline_json(&report).render();
+        let parsed = Json::parse(&baseline).expect("baseline renders valid JSON");
+        let verdict = compare_with_baseline(&report.cells, &parsed, true);
+        assert!(verdict.passes(), "{:?}", verdict);
+        assert_eq!(verdict.compared, 4);
+        assert_eq!(verdict.failures(), 0);
+    }
+
+    #[test]
+    fn detection_drop_and_twin_alarms_regress() {
+        let report = run(&config(), synthetic_grid);
+        let baseline = Json::parse(&baseline_json(&report).render()).unwrap();
+        let mut cells = report.cells.clone();
+        cells[0].detected = 0;
+        cells[0].detection_rate = 0.0;
+        cells[3].twin_detections = 2;
+        let verdict = compare_with_baseline(&cells, &baseline, true);
+        assert_eq!(verdict.failures(), 2, "{:?}", verdict);
+        assert!(verdict.regressions[0].contains("detection rate"));
+        assert!(verdict.regressions[1].contains("false alarm"));
+    }
+
+    #[test]
+    fn latency_inflation_beyond_band_regresses() {
+        let report = run(&config(), synthetic_grid);
+        let baseline = Json::parse(&baseline_json(&report).render()).unwrap();
+        let mut cells = report.cells.clone();
+        cells[0].mttd_p95_ns *= 2; // 2.0× > the 1.5× band
+        let verdict = compare_with_baseline(&cells, &baseline, true);
+        assert_eq!(verdict.failures(), 1, "{:?}", verdict);
+        assert!(verdict.regressions[0].contains("MTTD p95"));
+    }
+
+    #[test]
+    fn class_tolerance_overrides_the_global_band() {
+        let report = run(&config(), synthetic_grid);
+        let mut doc = baseline_json(&report).render();
+        doc = doc.replace(
+            "\"class_tolerance\":{}",
+            "\"class_tolerance\":{\"stuck-volume\":{\"mttd_p95_inflate\":3.0}}",
+        );
+        let baseline = Json::parse(&doc).unwrap();
+        let mut cells = report.cells.clone();
+        cells[0].mttd_p95_ns *= 2; // within the per-class 3.0× band
+        assert!(compare_with_baseline(&cells, &baseline, true).passes());
+        cells[3].mttd_p95_ns *= 2; // menu-freeze keeps the global 1.5×
+        assert_eq!(compare_with_baseline(&cells, &baseline, true).failures(), 1);
+    }
+
+    #[test]
+    fn vanished_cells_count_as_missing() {
+        let report = run(&config(), synthetic_grid);
+        let baseline = Json::parse(&baseline_json(&report).render()).unwrap();
+        let cells = report.cells[1..].to_vec();
+        let verdict = compare_with_baseline(&cells, &baseline, true);
+        assert_eq!(verdict.missing.len(), 1);
+        assert!(!verdict.passes());
+    }
+}

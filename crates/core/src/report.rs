@@ -12,11 +12,14 @@
 /// assert!(t.contains("teletext"));
 /// ```
 pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    // Widths are measured in chars, matching the formatter's padding
+    // rule — byte lengths would misalign any column containing
+    // multi-byte cells (the scorecard matrix uses ✓/◐/✗).
     let n_cols = header.len();
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate().take(n_cols) {
-            widths[i] = widths[i].max(cell.len());
+            widths[i] = widths[i].max(cell.chars().count());
         }
     }
     let mut out = String::new();
@@ -71,6 +74,20 @@ mod tests {
         assert_eq!(lines.len(), 4);
         // All lines equal width.
         assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn multibyte_cells_align_by_chars() {
+        let t = render_table(
+            &["cell", "note"],
+            &[
+                vec!["✓ 1.2ms".into(), "ok".into()],
+                vec!["✗".into(), "missed".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        let width = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == width), "{t}");
     }
 
     #[test]

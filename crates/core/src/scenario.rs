@@ -32,6 +32,35 @@ impl TimedScenario {
         )
     }
 
+    /// The near-idle session of `len` presses (power on, tune, then
+    /// nothing), one key every 100 ms — the scorecard's low-exercise
+    /// workload.
+    pub fn idle_session(len: usize) -> Self {
+        Self::from_sequence(
+            &KeySequence::idle_scenario(len),
+            SimDuration::from_millis(100),
+        )
+    }
+
+    /// The zapping burst of `len` presses (rapid channel surfing), one
+    /// key every 100 ms.
+    pub fn zapping_session(len: usize) -> Self {
+        Self::from_sequence(
+            &KeySequence::zapping_scenario(len),
+            SimDuration::from_millis(100),
+        )
+    }
+
+    /// The full-mix session of `len` presses exercising every observed
+    /// function (volume, mute, channel, teletext, menu, sleep, swivel),
+    /// one key every 100 ms — the scorecard's high-exercise workload.
+    pub fn full_mix_session(len: usize) -> Self {
+        Self::from_sequence(
+            &KeySequence::full_mix_scenario(len),
+            SimDuration::from_millis(100),
+        )
+    }
+
     /// A random scenario of `len` presses with uniformly random gaps in
     /// `[min_gap, max_gap]`.
     pub fn random(
@@ -89,6 +118,19 @@ mod tests {
         assert_eq!(s.presses()[4].0, SimTime::from_millis(500));
         assert_eq!(s.end(), SimTime::from_millis(500));
         assert_eq!(s.presses()[0].1, Key::Power);
+    }
+
+    #[test]
+    fn scorecard_sessions_share_the_press_cadence() {
+        for s in [
+            TimedScenario::idle_session(12),
+            TimedScenario::zapping_session(12),
+            TimedScenario::full_mix_session(12),
+        ] {
+            assert_eq!(s.len(), 12);
+            assert_eq!(s.presses()[0].0, SimTime::from_millis(100));
+            assert_eq!(s.end(), SimTime::from_millis(1200));
+        }
     }
 
     #[test]

@@ -53,6 +53,26 @@ impl Schedule {
         }
     }
 
+    /// A deterministic transient window spanning `[from_frac, to_frac)`
+    /// of `horizon` — the scorecard grid derives every cell's fault
+    /// phase this way (from the rep index, not an RNG draw), so cell
+    /// results are a pure function of the cell's coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= from_frac < to_frac <= 1.0`.
+    pub fn window_fraction(horizon: SimTime, from_frac: f64, to_frac: f64) -> Schedule {
+        assert!(
+            (0.0..1.0).contains(&from_frac) && from_frac < to_frac && to_frac <= 1.0,
+            "window fractions must satisfy 0 <= from < to <= 1: [{from_frac}, {to_frac})"
+        );
+        let span = horizon.as_nanos() as f64;
+        Schedule::Between {
+            from: SimTime::from_nanos((span * from_frac) as u64),
+            to: SimTime::from_nanos((span * to_frac) as u64),
+        }
+    }
+
     /// A random transient window of length `len` inside `[0, horizon)`.
     ///
     /// # Panics
@@ -123,6 +143,22 @@ mod tests {
     fn always_never() {
         assert!(Schedule::Always.is_active(ms(0), 0));
         assert!(!Schedule::Never.is_active(ms(1000), 1000));
+    }
+
+    #[test]
+    fn window_fraction_spans_the_requested_slice() {
+        let horizon = SimTime::from_secs(4);
+        let s = Schedule::window_fraction(horizon, 0.25, 0.75);
+        assert!(!s.is_active(ms(999), 0));
+        assert!(s.is_active(ms(1000), 0));
+        assert!(s.is_active(ms(2999), 0));
+        assert!(!s.is_active(ms(3000), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window fractions")]
+    fn window_fraction_rejects_inverted_bounds() {
+        let _ = Schedule::window_fraction(SimTime::from_secs(1), 0.7, 0.3);
     }
 
     #[test]

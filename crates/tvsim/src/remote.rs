@@ -175,6 +175,75 @@ impl KeySequence {
         KeySequence { keys }
     }
 
+    /// The near-idle scenario: power on, tune channel 1, then leave the
+    /// set alone (`Ok` presses that change nothing). The scorecard's
+    /// low-exercise workload — most fault classes stay dormant because
+    /// their function is never invoked, which is exactly the coverage
+    /// gap the matrix is built to expose.
+    pub fn idle_scenario(len: usize) -> Self {
+        let mut keys = vec![Key::Power, Key::Digit(1)];
+        while keys.len() < len {
+            keys.push(Key::Ok);
+        }
+        keys.truncate(len);
+        KeySequence { keys }
+    }
+
+    /// The zapping burst: power on, then rapid channel surfing. Tuner
+    /// faults are hammered; everything else stays dormant.
+    pub fn zapping_scenario(len: usize) -> Self {
+        let mut keys = vec![Key::Power, Key::Digit(1)];
+        let pattern = [
+            Key::ChannelUp,
+            Key::ChannelUp,
+            Key::ChannelUp,
+            Key::ChannelDown,
+            Key::ChannelUp,
+            Key::ChannelDown,
+        ];
+        let mut i = 0;
+        while keys.len() < len {
+            keys.push(pattern[i % pattern.len()]);
+            i += 1;
+        }
+        keys.truncate(len);
+        KeySequence { keys }
+    }
+
+    /// The full-mix session: every user-facing function the awareness
+    /// loop observes gets exercised — volume, mute, channel, teletext
+    /// paging, menu open/close, sleep timer, swivel. The scorecard's
+    /// high-exercise workload: a fault class that stays undetected here
+    /// is a genuine monitoring gap, not a dormant function.
+    pub fn full_mix_scenario(len: usize) -> Self {
+        let mut keys = vec![Key::Power, Key::Digit(1)];
+        let pattern = [
+            Key::VolUp,
+            Key::ChannelUp,
+            Key::Mute,
+            Key::Mute,
+            Key::Teletext, // on, page 100
+            Key::Digit(1),
+            Key::Digit(2),
+            Key::Digit(3), // page 123
+            Key::Teletext, // off
+            Key::Menu,
+            Key::Back,
+            Key::Sleep,
+            Key::SwivelLeft,
+            Key::SwivelRight,
+            Key::VolDown,
+            Key::ChannelDown,
+        ];
+        let mut i = 0;
+        while keys.len() < len {
+            keys.push(pattern[i % pattern.len()]);
+            i += 1;
+        }
+        keys.truncate(len);
+        KeySequence { keys }
+    }
+
     /// A random scenario of `len` keys (deterministic from `rng`).
     pub fn random(len: usize, rng: &mut SimRng) -> Self {
         let mut keys = Vec::with_capacity(len);
@@ -223,6 +292,35 @@ mod tests {
         assert_eq!(s.len(), 27);
         assert_eq!(s.keys()[0], Key::Power);
         assert!(s.keys().contains(&Key::Teletext));
+    }
+
+    #[test]
+    fn scorecard_scenarios_have_requested_length_and_shape() {
+        let idle = KeySequence::idle_scenario(40);
+        assert_eq!(idle.len(), 40);
+        assert!(idle.keys()[2..].iter().all(|k| *k == Key::Ok));
+
+        let zap = KeySequence::zapping_scenario(40);
+        assert_eq!(zap.len(), 40);
+        assert!(zap.keys().contains(&Key::ChannelUp));
+        assert!(!zap.keys().contains(&Key::VolUp));
+
+        let mix = KeySequence::full_mix_scenario(40);
+        assert_eq!(mix.len(), 40);
+        for key in [
+            Key::VolUp,
+            Key::Mute,
+            Key::Teletext,
+            Key::ChannelUp,
+            Key::Menu,
+            Key::Sleep,
+            Key::SwivelLeft,
+        ] {
+            assert!(mix.keys().contains(&key), "full mix misses {key}");
+        }
+        // Degenerate lengths stay well-formed.
+        assert_eq!(KeySequence::idle_scenario(1).len(), 1);
+        assert_eq!(KeySequence::full_mix_scenario(0).len(), 0);
     }
 
     #[test]

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Aggregates every BENCH_*.json into BENCH_trajectory.json and, when a
+# previous trajectory is passed (--prev <file>), gates the current one
+# against it: correctness booleans must stay true, coverage must not
+# shrink, regression counts must not grow. Exits nonzero on regression.
+#
+#   scripts/bench_trajectory.sh
+#   scripts/bench_trajectory.sh --prev prev/BENCH_trajectory.json
+set -eu
+cd "$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cargo run -q --release -p bench --bin bench_trajectory -- "$@"
