@@ -117,6 +117,15 @@ impl OnlineDiagnosis {
         }
     }
 
+    /// Moves the error baseline forward without recording a step:
+    /// detections raised by synthetic probe traffic are *absorbed* so
+    /// the next real scenario step does not inherit their failing
+    /// verdict (probe coverage is likewise discarded by the loop — see
+    /// [`crate::AwarenessMonitor::absorb_synthetic_errors`]).
+    pub(crate) fn absorb_errors(&mut self, errors_total: u64) {
+        self.errors_at_last_step = errors_total;
+    }
+
     /// The current suspect window (re-ranked after every step).
     pub fn top_k(&self) -> &TopK {
         self.diagnoser.top_k()

@@ -39,6 +39,7 @@ pub mod message;
 pub mod model_executor;
 pub mod monitor;
 pub mod observers;
+pub mod probes;
 pub mod reliable;
 pub mod supervisor;
 
@@ -52,5 +53,6 @@ pub use message::Message;
 pub use model_executor::ModelExecutor;
 pub use monitor::{AwarenessMonitor, MonitorBuilder};
 pub use observers::{InputObserver, OutputObserver};
+pub use probes::{DeadlineMonitor, ProbeConfig, ProbeFiring, ProbePlan, ProbeScheduler};
 pub use reliable::{BoundaryChannel, ProbeNames, ReliableChannel, ReliableConfig, ReliableStats};
 pub use supervisor::{DegradationMode, Supervisor, SupervisorConfig, SupervisorReport};

@@ -551,6 +551,19 @@ impl<'m> AwarenessMonitor<'m> {
         }
     }
 
+    /// Absorbs comparator errors raised by synthetic probe traffic into
+    /// the diagnosis baseline *without* recording a spectra step, so
+    /// the next real scenario step's verdict reflects only its own
+    /// detections. The loop driver calls this after each probe burst,
+    /// paired with discarding the burst's coverage snapshot — keeping
+    /// probe presses out of the fault-localization ranking entirely.
+    pub fn absorb_synthetic_errors(&mut self) {
+        let errors_total = self.errors_total;
+        if let Some(diag) = self.diagnosis.as_mut() {
+            diag.absorb_errors(errors_total);
+        }
+    }
+
     /// The online diagnosis state, when enabled via
     /// [`MonitorBuilder::diagnosis`].
     pub fn diagnosis(&self) -> Option<&OnlineDiagnosis> {

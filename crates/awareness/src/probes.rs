@@ -1,0 +1,442 @@
+//! Active observability: idle-time probe scheduling and deadline
+//! monitoring.
+//!
+//! The passive awareness loop only sees what user traffic exercises —
+//! the E18 scorecard's idle column is blind for every fault class
+//! because a dormant function never produces a comparator mismatch.
+//! This module makes the monitor *generate* observations instead of
+//! waiting for them, per the paper's §4.1 observation taxonomy
+//! (in-situ probing vs. passive output comparison):
+//!
+//! * [`ProbeScheduler`] — plans deterministic synthetic key sequences
+//!   (volume nudge-and-restore, teletext round-trip, menu open/close,
+//!   swivel jog, sleep-timer arm) into the idle windows between user
+//!   presses on the simkit virtual clock. The loop driver runs each
+//!   probe through both the SUO and the model executor, so divergence
+//!   raises a *normal* comparator verdict — no new error path.
+//! * [`DeadlineMonitor`] — tracks *armed obligations* (the sleep-timer
+//!   fire time) on the E12 timed-property pattern: a
+//!   [`WatchdogDetector`] watches the timer service's heartbeat, and a
+//!   fire-time deadline alarms when virtual time passes the obligation
+//!   with no event. This catches `sleep-timer-lost`, which no output
+//!   comparison can see inside a short scenario.
+//!
+//! Both pieces are deliberately free of randomness and wall-clock
+//! state: a probe plan is a pure function of the window sequence, so
+//! the scorecard matrix stays byte-identical across worker counts.
+
+use detect::{Detector, ErrorEvent, ErrorSeverity, WatchdogDetector};
+use observe::{Observation, ObservationKind};
+use simkit::{SimDuration, SimTime};
+
+/// Timing knobs for the probe scheduler.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Delay from the start of an idle window to the first probe key.
+    pub fire_offset: SimDuration,
+    /// Spacing between consecutive keys of one probe sequence.
+    pub key_spacing: SimDuration,
+    /// Margin after the last probe key that must still fit inside the
+    /// window (comparator settle + repair time); a probe that would
+    /// spill past the window is skipped, not truncated.
+    pub settle_margin: SimDuration,
+    /// Fire a probe every Nth idle window (1 = every window).
+    pub every_windows: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            fire_offset: SimDuration::from_millis(15),
+            key_spacing: SimDuration::from_millis(2),
+            settle_margin: SimDuration::from_millis(25),
+            every_windows: 1,
+        }
+    }
+}
+
+/// One registered self-check sequence.
+#[derive(Debug, Clone)]
+pub struct ProbePlan<K> {
+    /// Stable probe-kind name (telemetry counter suffix).
+    pub kind: &'static str,
+    /// The synthetic key sequence, pressed in order.
+    pub keys: Vec<K>,
+}
+
+/// A planned probe firing inside one idle window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeFiring<K> {
+    /// Index of the plan that fired (stable across runs).
+    pub plan: usize,
+    /// The probe kind name.
+    pub kind: &'static str,
+    /// The keys with their virtual press times.
+    pub keys: Vec<(SimTime, K)>,
+}
+
+/// Deterministic round-robin scheduler for synthetic self-checks.
+///
+/// The loop driver calls [`ProbeScheduler::plan_window`] once per idle
+/// window (the gap between two user presses, after the comparator has
+/// settled). The scheduler rotates through its registered plans; a
+/// plan that does not fit the window (with settle margin) is skipped
+/// without advancing the rotation, so a shorter later window still
+/// fires it. All state is per-run and integer-arithmetic only —
+/// byte-identical schedules regardless of thread count.
+#[derive(Debug, Clone)]
+pub struct ProbeScheduler<K> {
+    config: ProbeConfig,
+    plans: Vec<ProbePlan<K>>,
+    cursor: usize,
+    windows_seen: usize,
+    fired: u64,
+    skipped: u64,
+}
+
+impl<K: Clone> ProbeScheduler<K> {
+    /// Creates an empty scheduler with the given timing knobs.
+    pub fn new(config: ProbeConfig) -> Self {
+        assert!(config.every_windows > 0, "every_windows must be at least 1");
+        ProbeScheduler {
+            config,
+            plans: Vec::new(),
+            cursor: 0,
+            windows_seen: 0,
+            fired: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Registers a probe plan; plans fire in registration order.
+    pub fn register(&mut self, kind: &'static str, keys: Vec<K>) {
+        assert!(!keys.is_empty(), "probe plan must have at least one key");
+        self.plans.push(ProbePlan { kind, keys });
+    }
+
+    /// The registered plans, in rotation order.
+    pub fn plans(&self) -> &[ProbePlan<K>] {
+        &self.plans
+    }
+
+    /// Plans the probe for the idle window `[start, end)`, if one fits.
+    ///
+    /// Returns `None` when the window is off-cadence
+    /// ([`ProbeConfig::every_windows`]), no plans are registered, or
+    /// the next plan (plus settle margin) does not fit.
+    pub fn plan_window(&mut self, start: SimTime, end: SimTime) -> Option<ProbeFiring<K>> {
+        self.windows_seen += 1;
+        if self.plans.is_empty()
+            || !(self.windows_seen - 1).is_multiple_of(self.config.every_windows)
+        {
+            return None;
+        }
+        let index = self.cursor % self.plans.len();
+        let plan = &self.plans[index];
+        let first = start + self.config.fire_offset;
+        let mut at = first;
+        let mut keys = Vec::with_capacity(plan.keys.len());
+        for key in &plan.keys {
+            keys.push((at, key.clone()));
+            at += self.config.key_spacing;
+        }
+        let last = keys.last().map(|(t, _)| *t).unwrap_or(first);
+        if last + self.config.settle_margin > end {
+            self.skipped += 1;
+            return None;
+        }
+        self.cursor += 1;
+        self.fired += 1;
+        Some(ProbeFiring {
+            plan: index,
+            kind: plan.kind,
+            keys,
+        })
+    }
+
+    /// Probes fired so far this run.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Probes skipped because the window was too short.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+/// The sleep-timer obligation monitor: heartbeat watchdog plus an
+/// armed fire-time deadline.
+///
+/// Arms when the TV reports a non-zero `sleep.minutes` output; from
+/// then on the timer service must (1) heartbeat within
+/// `heartbeat_deadline` of virtual time (checked by an embedded
+/// [`WatchdogDetector`] on the `sleep.timer` source) and (2) actually
+/// fire — power the set off — by the announced fire time plus `grace`.
+/// A lost timer interrupt silences both, so either check catches
+/// `sleep-timer-lost` without any output comparison. Disarms when the
+/// timer is cancelled (`sleep.minutes` back to 0) or the set powers
+/// off (`screen.mode` = `off` — the obligation was met or mooted).
+#[derive(Debug, Clone)]
+pub struct DeadlineMonitor {
+    watchdog: WatchdogDetector,
+    grace: SimDuration,
+    armed: bool,
+    fire_deadline: Option<SimTime>,
+    obligations_armed: u64,
+    obligations_resolved: u64,
+    alarms: u64,
+}
+
+/// The heartbeat source name the sleep-timer service reports under.
+pub const SLEEP_HEARTBEAT_SOURCE: &str = "sleep.timer";
+
+impl DeadlineMonitor {
+    /// Creates a monitor expecting a heartbeat at least every
+    /// `heartbeat_deadline` while armed, and the timer to fire within
+    /// `grace` of its announced expiry.
+    pub fn new(heartbeat_deadline: SimDuration, grace: SimDuration) -> Self {
+        DeadlineMonitor {
+            watchdog: WatchdogDetector::new(SLEEP_HEARTBEAT_SOURCE, heartbeat_deadline),
+            grace,
+            armed: false,
+            fire_deadline: None,
+            obligations_armed: 0,
+            obligations_resolved: 0,
+            alarms: 0,
+        }
+    }
+
+    /// Routes one observation. `sleep.minutes` outputs arm / extend /
+    /// cancel the obligation; `screen.mode = off` resolves it (the set
+    /// powered down, by timer or by hand); heartbeats from the timer
+    /// service feed the watchdog. Never raises an error itself — all
+    /// alarms come from [`DeadlineMonitor::tick`].
+    pub fn observe(&mut self, observation: &Observation) {
+        if observation.source == SLEEP_HEARTBEAT_SOURCE {
+            self.watchdog.observe(observation);
+            return;
+        }
+        if let ObservationKind::Output { name, value } = &observation.kind {
+            match name.as_str() {
+                "sleep.minutes" => {
+                    let minutes = value.as_num().unwrap_or(0.0);
+                    if minutes > 0.0 {
+                        let fire_at = observation.time
+                            + SimDuration::from_secs(minutes as u64 * 60)
+                            + self.grace;
+                        if !self.armed {
+                            self.armed = true;
+                            self.obligations_armed += 1;
+                            self.watchdog.arm(observation.time);
+                        }
+                        self.fire_deadline = Some(fire_at);
+                    } else if self.armed {
+                        self.resolve();
+                    }
+                }
+                "screen.mode" if self.armed && value.as_text() == Some("off") => {
+                    self.resolve();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn resolve(&mut self) {
+        self.armed = false;
+        self.fire_deadline = None;
+        self.obligations_resolved += 1;
+    }
+
+    /// Checks the armed obligation at `now`: heartbeat silence past the
+    /// watchdog deadline, or virtual time past the fire deadline with
+    /// no power-off event. Quiet when nothing is armed. A missed fire
+    /// deadline alarms once and closes the obligation.
+    pub fn tick(&mut self, now: SimTime) -> Vec<ErrorEvent> {
+        if !self.armed {
+            return Vec::new();
+        }
+        let mut errors = self.watchdog.tick(now);
+        if let Some(deadline) = self.fire_deadline {
+            if now > deadline {
+                errors.push(ErrorEvent {
+                    time: now,
+                    detector: format!("deadline:{SLEEP_HEARTBEAT_SOURCE}"),
+                    description: format!(
+                        "sleep timer armed but did not fire by {deadline} (now {now})"
+                    ),
+                    severity: ErrorSeverity::Critical,
+                });
+                self.armed = false;
+                self.fire_deadline = None;
+            }
+        }
+        self.alarms += errors.len() as u64;
+        errors
+    }
+
+    /// True while an obligation is armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The pending fire deadline, when armed.
+    pub fn fire_deadline(&self) -> Option<SimTime> {
+        self.fire_deadline
+    }
+
+    /// Obligations armed over the monitor's lifetime.
+    pub fn obligations_armed(&self) -> u64 {
+        self.obligations_armed
+    }
+
+    /// Obligations resolved (timer fired, cancelled, or set turned off).
+    pub fn obligations_resolved(&self) -> u64 {
+        self.obligations_resolved
+    }
+
+    /// Alarms raised (heartbeat timeouts plus missed fire deadlines).
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observe::ObsValue;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn output(at_ms: u64, name: &str, value: ObsValue) -> Observation {
+        Observation::new(
+            ms(at_ms),
+            "tv",
+            ObservationKind::Output {
+                name: name.into(),
+                value,
+            },
+        )
+    }
+
+    fn heartbeat(at_ms: u64) -> Observation {
+        Observation::new(
+            ms(at_ms),
+            SLEEP_HEARTBEAT_SOURCE,
+            ObservationKind::Value {
+                name: "sleep.heartbeat".into(),
+                value: 15.0,
+            },
+        )
+    }
+
+    #[test]
+    fn scheduler_rotates_and_is_deterministic() {
+        let mut a = ProbeScheduler::new(ProbeConfig::default());
+        a.register("volume", vec!["vol_up", "vol_down"]);
+        a.register("menu", vec!["menu", "back"]);
+        let mut b = a.clone();
+        for i in 0..6u64 {
+            let start = ms(100 * i + 25);
+            let end = ms(100 * (i + 1));
+            let fa = a.plan_window(start, end);
+            let fb = b.plan_window(start, end);
+            assert_eq!(fa, fb, "schedules must be deterministic");
+            let firing = fa.expect("window is wide enough");
+            assert_eq!(firing.plan, (i % 2) as usize);
+            assert_eq!(firing.keys[0].0, start + SimDuration::from_millis(15));
+        }
+        assert_eq!(a.fired(), 6);
+        assert_eq!(a.skipped(), 0);
+    }
+
+    #[test]
+    fn short_window_skips_without_losing_rotation() {
+        let mut s = ProbeScheduler::new(ProbeConfig::default());
+        s.register("volume", vec!["vol_up", "vol_down"]);
+        s.register("menu", vec!["menu", "back"]);
+        // Too short: 15ms offset + 2ms + 25ms margin > 30ms.
+        assert!(s.plan_window(ms(0), ms(30)).is_none());
+        assert_eq!(s.skipped(), 1);
+        // The skipped plan fires in the next adequate window.
+        let firing = s.plan_window(ms(100), ms(200)).unwrap();
+        assert_eq!(firing.kind, "volume");
+    }
+
+    #[test]
+    fn every_windows_cadence() {
+        let mut s = ProbeScheduler::new(ProbeConfig {
+            every_windows: 2,
+            ..ProbeConfig::default()
+        });
+        s.register("volume", vec!["vol_up"]);
+        assert!(s.plan_window(ms(0), ms(100)).is_some());
+        assert!(s.plan_window(ms(100), ms(200)).is_none());
+        assert!(s.plan_window(ms(200), ms(300)).is_some());
+    }
+
+    #[test]
+    fn deadline_monitor_arms_and_stays_quiet_with_heartbeats() {
+        let mut m = DeadlineMonitor::new(SimDuration::from_millis(300), SimDuration::from_secs(1));
+        assert!(m.tick(ms(10_000)).is_empty(), "quiet before arming");
+        m.observe(&output(100, "sleep.minutes", ObsValue::Num(15.0)));
+        assert!(m.is_armed());
+        assert_eq!(m.obligations_armed(), 1);
+        for t in 1..8u64 {
+            m.observe(&heartbeat(100 + t * 100));
+            assert!(m.tick(ms(100 + t * 100)).is_empty());
+        }
+    }
+
+    #[test]
+    fn heartbeat_silence_alarms() {
+        let mut m = DeadlineMonitor::new(SimDuration::from_millis(300), SimDuration::from_secs(1));
+        m.observe(&output(100, "sleep.minutes", ObsValue::Num(15.0)));
+        m.observe(&heartbeat(200));
+        assert!(m.tick(ms(450)).is_empty(), "inside the deadline");
+        let errors = m.tick(ms(501));
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].detector.starts_with("watchdog:"));
+        assert_eq!(errors[0].severity, ErrorSeverity::Critical);
+        assert_eq!(m.alarms(), 1);
+    }
+
+    #[test]
+    fn missed_fire_deadline_alarms_once() {
+        let mut m = DeadlineMonitor::new(SimDuration::from_secs(3600), SimDuration::from_secs(1));
+        m.observe(&output(0, "sleep.minutes", ObsValue::Num(15.0)));
+        let deadline = m.fire_deadline().unwrap();
+        assert_eq!(deadline, SimTime::from_secs(15 * 60 + 1));
+        assert!(m.tick(deadline).is_empty(), "never alarms before deadline");
+        let errors = m.tick(deadline + SimDuration::from_millis(1));
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].detector.starts_with("deadline:"));
+        assert!(!m.is_armed(), "a missed deadline closes the obligation");
+        assert!(m.tick(deadline + SimDuration::from_secs(9)).is_empty());
+    }
+
+    #[test]
+    fn power_off_resolves_the_obligation() {
+        let mut m = DeadlineMonitor::new(SimDuration::from_millis(300), SimDuration::from_secs(1));
+        m.observe(&output(0, "sleep.minutes", ObsValue::Num(15.0)));
+        m.observe(&output(500, "screen.mode", ObsValue::Text("off".into())));
+        assert!(!m.is_armed());
+        assert_eq!(m.obligations_resolved(), 1);
+        assert!(m.tick(ms(10_000_000)).is_empty());
+    }
+
+    #[test]
+    fn cancel_resolves_and_rearm_restarts_the_watchdog() {
+        let mut m = DeadlineMonitor::new(SimDuration::from_millis(300), SimDuration::from_secs(1));
+        m.observe(&output(0, "sleep.minutes", ObsValue::Num(15.0)));
+        m.observe(&output(100, "sleep.minutes", ObsValue::Num(0.0)));
+        assert!(!m.is_armed());
+        // Long silence while disarmed, then re-arm: no stale-silence alarm.
+        m.observe(&output(900_000, "sleep.minutes", ObsValue::Num(30.0)));
+        assert!(m.tick(ms(900_100)).is_empty());
+        assert_eq!(m.obligations_armed(), 2);
+    }
+}

@@ -48,6 +48,18 @@ fn report_json(report: &E18Report, quick: bool, verdict: &BaselineVerdict) -> Js
                     cell.collateral_lost_presses.into(),
                 )
                 .field("twin_detections", cell.twin_detections.into())
+                .field(
+                    "window_detections",
+                    cell.window_detections
+                        .iter()
+                        .map(|w| {
+                            Json::object()
+                                .field("window_from", w.window_from.into())
+                                .field("detected", w.detected.into())
+                        })
+                        .collect::<Vec<Json>>()
+                        .into(),
+                )
                 .field("fingerprint", format!("{:016x}", cell.fingerprint).into())
         })
         .collect();
@@ -161,6 +173,8 @@ fn main() {
         recovery: RecoveryStyle::MicroReboot,
         reps: 3,
         scenario_len: 32,
+        probes: false,
+        adaptive: true,
     };
     group.bench_function("one_cell_with_twin", |b| {
         b.iter(|| black_box(cell.run().fingerprint()))

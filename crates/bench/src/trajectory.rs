@@ -62,6 +62,13 @@ pub const GATES: &[Gate] = &[
     ("e18", "scorecard_regressions", Rule::NotAbove(0.0)),
     ("e18", "covered_cells", Rule::NotBelow(0.0)),
     ("e18", "detection_coverage", Rule::NotBelow(0.0)),
+    ("e19", "coverage_lift_ok", Rule::StayTrue),
+    ("e19", "sleep_timer_lost_ok", Rule::StayTrue),
+    ("e19", "matrix_deterministic", Rule::StayTrue),
+    ("e19", "probe_false_alarms", Rule::NotAbove(0.0)),
+    // The headline ratchet: once the observatory lifts detection
+    // coverage, no later commit may quietly give that coverage back.
+    ("e19", "detection_coverage", Rule::NotBelow(0.0)),
 ];
 
 /// Collects every `BENCH_<id>.json` directly under `root` into one
@@ -303,7 +310,7 @@ mod tests {
         // The table is curated, not generated — this pins the benches it
         // must at least reach so a renamed report field fails here, not
         // silently in CI.
-        for bench in ["e1", "e14", "e15", "e16", "e17", "e18"] {
+        for bench in ["e1", "e14", "e15", "e16", "e17", "e18", "e19"] {
             assert!(
                 GATES.iter().any(|(b, _, _)| *b == bench),
                 "no gate covers {bench}"

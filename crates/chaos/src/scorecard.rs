@@ -30,8 +30,9 @@ use faults::Schedule;
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimRng, SimTime};
 use telemetry::MetricsRegistry;
-use trader::experiments::e18_scorecard::{E18Cell, E18Config, E18Report};
-use trader::{TimedScenario, TvDependabilityLoop, UnitRecoveryConfig};
+use trader::experiments::e18_scorecard::{E18Cell, E18Config, E18Report, WindowDetection};
+use trader::experiments::e19_active_probes::{E19Config, E19Report};
+use trader::{ProbesConfig, TimedScenario, TvDependabilityLoop, UnitRecoveryConfig};
 use tvsim::TvFault;
 
 use awareness::SupervisorConfig;
@@ -156,6 +157,14 @@ pub struct CellSpec {
     pub reps: usize,
     /// Presses per run (one every 100 ms).
     pub scenario_len: usize,
+    /// True runs reps *and* the twin with the active health
+    /// observatory enabled (idle-window probes, deadline monitor, mode
+    /// witnesses).
+    pub probes: bool,
+    /// True extends a cell detecting in exactly one base rep with two
+    /// extra window placements — the window-position sensitivity sweep
+    /// (reps 3 → 5 at grid shape).
+    pub adaptive: bool,
 }
 
 /// FNV-1a over a byte string — the cell seed derivation primitive.
@@ -190,13 +199,21 @@ impl CellSpec {
         SimTime::from_millis(100 * (self.scenario_len as u64 + 1))
     }
 
-    /// The primary fault's activation window for rep `rep`: a window
-    /// 30% of the horizon wide whose start slides from 20% towards 50%
-    /// as the rep index grows — the reps probe different phases of the
-    /// workload, not different RNG streams.
-    fn fault_window(&self, rep: usize) -> Schedule {
+    /// The start of rep `rep`'s fault window as a horizon fraction:
+    /// sliding from 20% towards 50% across the *base* reps. Adaptive
+    /// extension reps keep the base divisor, so they place windows
+    /// beyond the base sweep (50%, 60% at grid shape) instead of
+    /// resampling it.
+    pub fn window_from(&self, rep: usize) -> f64 {
         let reps = self.reps.max(1) as f64;
-        let from = 0.2 + 0.3 * (rep as f64 / reps);
+        0.2 + 0.3 * (rep as f64 / reps)
+    }
+
+    /// The primary fault's activation window for rep `rep`: a window
+    /// 30% of the horizon wide whose start slides across the workload
+    /// — the reps probe different phases, not different RNG streams.
+    fn fault_window(&self, rep: usize) -> Schedule {
+        let from = self.window_from(rep);
         Schedule::window_fraction(self.horizon(), from, from + 0.3)
     }
 
@@ -233,7 +250,47 @@ impl CellSpec {
             }
         }
         self.recovery.configure(&mut looped);
+        if self.probes {
+            looped.active_probes(ProbesConfig::standard());
+        }
         looped
+    }
+
+    /// Runs one faulty rep and folds its metrics.
+    fn run_rep(
+        &self,
+        rep: usize,
+        scenario: &TimedScenario,
+        metrics: &mut MetricsRegistry,
+    ) -> RepResult {
+        let outcome = self.build_loop(Some(rep)).run(scenario);
+        let result = RepResult {
+            seed: self.seed(rep),
+            window_from: self.window_from(rep),
+            detected: outcome.detected_errors > 0,
+            mttd: outcome.detection_latency,
+            mttr: outcome.reboot_mttr,
+            collateral_lost_presses: outcome.lost_presses_unaffected,
+            micro_reboots: outcome.micro_reboots,
+            full_restarts: outcome.full_restarts,
+            failure_steps: outcome.failure_steps,
+            ladder_rung: outcome.ladder_rung,
+        };
+        metrics.incr("scorecard.reps", 1);
+        if result.detected {
+            metrics.incr("scorecard.detections", 1);
+        }
+        if let Some(mttd) = result.mttd {
+            metrics.observe("scorecard.mttd_ns", mttd.as_nanos());
+        }
+        if let Some(mttr) = result.mttr {
+            metrics.observe("scorecard.mttr_ns", mttr.as_nanos());
+        }
+        metrics.incr(
+            "scorecard.collateral_lost_presses",
+            result.collateral_lost_presses as i64,
+        );
+        result
     }
 
     /// Runs the cell: `reps` faulty runs, one fault-free twin, and (for
@@ -241,35 +298,19 @@ impl CellSpec {
     pub fn run(&self) -> CellOutcome {
         let scenario = self.scenario.scenario(self.scenario_len);
         let mut metrics = MetricsRegistry::new();
-        let mut reps = Vec::with_capacity(self.reps);
+        let mut reps = Vec::with_capacity(self.reps + 2);
         for rep in 0..self.reps {
-            let outcome = self.build_loop(Some(rep)).run(&scenario);
-            let result = RepResult {
-                seed: self.seed(rep),
-                detected: outcome.detected_errors > 0,
-                mttd: outcome.detection_latency,
-                mttr: outcome.reboot_mttr,
-                collateral_lost_presses: outcome.lost_presses_unaffected,
-                micro_reboots: outcome.micro_reboots,
-                full_restarts: outcome.full_restarts,
-                failure_steps: outcome.failure_steps,
-                ladder_rung: outcome.ladder_rung,
-            };
-            metrics.incr("scorecard.reps", 1);
-            if result.detected {
-                metrics.incr("scorecard.detections", 1);
+            reps.push(self.run_rep(rep, &scenario, &mut metrics));
+        }
+        // Window-position sensitivity: a cell detecting in exactly one
+        // base window is the most phase-sensitive kind of partial — two
+        // extra placements past the base sweep quantify how narrow the
+        // detectable phase really is.
+        let detected_base = reps.iter().filter(|r| r.detected).count();
+        if self.adaptive && self.reps >= 2 && detected_base == 1 {
+            for rep in self.reps..self.reps + 2 {
+                reps.push(self.run_rep(rep, &scenario, &mut metrics));
             }
-            if let Some(mttd) = result.mttd {
-                metrics.observe("scorecard.mttd_ns", mttd.as_nanos());
-            }
-            if let Some(mttr) = result.mttr {
-                metrics.observe("scorecard.mttr_ns", mttr.as_nanos());
-            }
-            metrics.incr(
-                "scorecard.collateral_lost_presses",
-                result.collateral_lost_presses as i64,
-            );
-            reps.push(result);
         }
 
         let twin = self.build_loop(None).run(&scenario);
@@ -296,6 +337,8 @@ impl CellSpec {
 pub struct RepResult {
     /// The run's loop seed.
     pub seed: u64,
+    /// The fault window's start as a horizon fraction.
+    pub window_from: f64,
     /// Whether the awareness loop detected the fault.
     pub detected: bool,
     /// First fault activation → first detection (virtual time).
@@ -383,8 +426,11 @@ impl CellOutcome {
         };
         mix(self.spec.reps as u64);
         mix(self.spec.scenario_len as u64);
+        mix(u64::from(self.spec.probes));
+        mix(u64::from(self.spec.adaptive));
         for rep in &self.reps {
             mix(rep.seed);
+            mix(rep.window_from.to_bits());
             mix(u64::from(rep.detected));
             mix(rep.mttd.map_or(u64::MAX, |d| d.as_nanos()));
             mix(rep.mttr.map_or(u64::MAX, |d| d.as_nanos()));
@@ -424,6 +470,14 @@ impl CellOutcome {
             mttr_p95_ns: self.mttr_percentile_ns(0.95),
             collateral_lost_presses: self.collateral_lost_presses(),
             twin_detections: self.twin_detections,
+            window_detections: self
+                .reps
+                .iter()
+                .map(|r| WindowDetection {
+                    window_from: r.window_from,
+                    detected: r.detected,
+                })
+                .collect(),
             fingerprint: self.fingerprint(),
         }
     }
@@ -438,6 +492,11 @@ pub struct ScorecardConfig {
     pub scenario_len: usize,
     /// Recovery styles to cross in (the quick grid keeps one layer).
     pub recoveries: Vec<RecoveryStyle>,
+    /// Run every cell with the active health observatory enabled.
+    pub probes: bool,
+    /// Extend 1-of-base-detected cells with two extra window
+    /// placements.
+    pub adaptive: bool,
 }
 
 impl ScorecardConfig {
@@ -448,6 +507,8 @@ impl ScorecardConfig {
             reps: 3,
             scenario_len: 32,
             recoveries: RecoveryStyle::ALL.to_vec(),
+            probes: false,
+            adaptive: true,
         }
     }
 
@@ -477,6 +538,8 @@ impl ScorecardConfig {
                         recovery,
                         reps: self.reps,
                         scenario_len: self.scenario_len,
+                        probes: self.probes,
+                        adaptive: self.adaptive,
                     });
                 }
             }
@@ -576,9 +639,31 @@ pub fn e18_report(config: &E18Config) -> E18Report {
         } else {
             RecoveryStyle::ALL.to_vec()
         },
+        probes: config.probes,
+        adaptive: config.adaptive,
     };
     trader::experiments::e18_scorecard::run(config, |workers| {
         run_scorecard(&sc, workers).to_cells()
+    })
+}
+
+/// Runs the E19 active-observatory sweep: the same grid executed twice
+/// — passive baseline and observatory-on — plus worker-count
+/// determinism on the probed matrix (same split as E18).
+pub fn e19_report(config: &E19Config) -> E19Report {
+    let sc = |probes: bool| ScorecardConfig {
+        reps: config.reps,
+        scenario_len: config.scenario_len,
+        recoveries: if config.quick {
+            vec![RecoveryStyle::MicroReboot]
+        } else {
+            RecoveryStyle::ALL.to_vec()
+        },
+        probes,
+        adaptive: true,
+    };
+    trader::experiments::e19_active_probes::run(config, |workers, probes| {
+        run_scorecard(&sc(probes), workers).to_cells()
     })
 }
 
@@ -593,6 +678,8 @@ mod tests {
             recovery,
             reps: 2,
             scenario_len: 16,
+            probes: false,
+            adaptive: false,
         }
     }
 
@@ -616,6 +703,8 @@ mod tests {
             recovery: RecoveryStyle::MicroReboot,
             reps: 3,
             scenario_len: 32,
+            probes: false,
+            adaptive: false,
         }
         .run();
         assert_eq!(outcome.detected(), 3, "detection gap in the home cell");
@@ -665,6 +754,8 @@ mod tests {
                 recovery: RecoveryStyle::MicroReboot,
                 reps: 1,
                 scenario_len: 8,
+                probes: false,
+                adaptive: false,
             };
             assert_ne!(spec.companion_fault(), fault);
         }
@@ -690,6 +781,8 @@ mod tests {
             reps: 1,
             scenario_len: 10,
             recoveries: vec![RecoveryStyle::MicroReboot],
+            probes: true,
+            adaptive: true,
         };
         let sequential = run_scorecard(&config, 1);
         let parallel = run_scorecard(&config, 4);
@@ -702,11 +795,94 @@ mod tests {
     }
 
     #[test]
+    fn probed_idle_cell_detects_the_lost_sleep_timer() {
+        // The scorecard's flagship blind cell: idle never touches the
+        // sleep timer, so passive monitoring cannot see the lost
+        // interrupt. The observatory's probe arms the timer itself.
+        let blind = CellSpec {
+            fault: TvFault::SleepTimerLost,
+            scenario: ScenarioKind::Idle,
+            recovery: RecoveryStyle::MicroReboot,
+            reps: 3,
+            scenario_len: 32,
+            probes: false,
+            adaptive: false,
+        };
+        let mut probed = blind.clone();
+        probed.probes = true;
+        let blind_out = blind.run();
+        assert_eq!(blind_out.detected(), 0, "idle is no longer blind?");
+        let probed_out = probed.run();
+        assert_eq!(
+            probed_out.detected(),
+            probed_out.reps.len(),
+            "observatory missed the lost timer"
+        );
+        assert_eq!(probed_out.twin_detections, 0, "probe false alarm");
+        assert_ne!(blind_out.fingerprint(), probed_out.fingerprint());
+    }
+
+    #[test]
+    fn probed_twins_never_detect() {
+        for scenario in ScenarioKind::ALL {
+            let mut spec = tiny_cell(scenario, RecoveryStyle::MicroReboot);
+            spec.probes = true;
+            let outcome = spec.run();
+            assert_eq!(
+                outcome.twin_detections,
+                0,
+                "probe false alarm in twin of {}",
+                scenario.name()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_cells_extend_the_window_sweep() {
+        // teletext-sync-loss under the teletext workload detects in
+        // exactly one base window (the baseline's canonical 1/3 cell):
+        // the adaptive sweep must add two placements past the base
+        // range, with the base divisor unchanged.
+        let base = CellSpec {
+            fault: TvFault::TeletextSyncLoss,
+            scenario: ScenarioKind::Teletext,
+            recovery: RecoveryStyle::MicroReboot,
+            reps: 3,
+            scenario_len: 32,
+            probes: false,
+            adaptive: false,
+        };
+        let fixed = base.run();
+        assert_eq!(
+            fixed.detected(),
+            1,
+            "cell shape changed; pick another 1/3 cell"
+        );
+        assert_eq!(fixed.reps.len(), 3);
+
+        let mut adaptive = base.clone();
+        adaptive.adaptive = true;
+        let swept = adaptive.run();
+        assert_eq!(swept.reps.len(), 5, "1-of-3 cell must extend to 5 reps");
+        assert!((swept.reps[3].window_from - 0.5).abs() < 1e-12);
+        assert!((swept.reps[4].window_from - 0.6).abs() < 1e-12);
+        let e18 = swept.to_e18_cell();
+        assert_eq!(e18.reps, 5);
+        assert_eq!(e18.window_detections.len(), 5);
+        assert_eq!(
+            e18.window_detections.iter().filter(|w| w.detected).count(),
+            e18.detected
+        );
+    }
+
+    #[test]
     fn coverage_accounting_partitions_the_grid() {
         let config = ScorecardConfig {
             reps: 1,
             scenario_len: 10,
             recoveries: vec![RecoveryStyle::MicroReboot],
+            probes: false,
+            adaptive: false,
         };
         let scorecard = run_scorecard(&config, 2);
         assert_eq!(

@@ -22,10 +22,15 @@ use telemetry::MetricsRegistry;
 use tvsim::TvFault;
 
 fn small_config() -> ScorecardConfig {
+    // Probes on: the invariance families must hold for the active
+    // observatory too (its schedule is a pure function of the window
+    // sequence, so nothing here may depend on the worker count).
     ScorecardConfig {
         reps: 1,
         scenario_len: 10,
         recoveries: vec![RecoveryStyle::MicroReboot],
+        probes: true,
+        adaptive: true,
     }
 }
 
@@ -127,6 +132,7 @@ proptest! {
         scenario in prop::sample::select(ScenarioKind::ALL.to_vec()),
         recovery in prop::sample::select(RecoveryStyle::ALL.to_vec()),
         reps in 1usize..3,
+        probes in any::<bool>(),
     ) {
         let outcome = CellSpec {
             fault,
@@ -134,6 +140,8 @@ proptest! {
             recovery,
             reps,
             scenario_len: 12,
+            probes,
+            adaptive: false,
         }
         .run();
         prop_assert_eq!(

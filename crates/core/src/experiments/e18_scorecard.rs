@@ -43,6 +43,14 @@ pub struct E18Config {
     /// three-layer grid. Cell shape is identical either way, so quick
     /// cells byte-match their full-grid counterparts.
     pub quick: bool,
+    /// True runs every cell — faulty reps *and* the fault-free twin —
+    /// with the active health observatory enabled (idle-window probes,
+    /// deadline monitor, mode witnesses).
+    pub probes: bool,
+    /// True extends cells detecting in exactly one base rep with two
+    /// extra fault-window placements (reps 3 → 5) — the window-position
+    /// sensitivity sweep for partially-covered cells.
+    pub adaptive: bool,
 }
 
 impl E18Config {
@@ -54,6 +62,8 @@ impl E18Config {
             reps: 3,
             scenario_len: 32,
             quick: false,
+            probes: false,
+            adaptive: true,
         }
     }
 
@@ -67,6 +77,18 @@ impl E18Config {
             ..Self::full()
         }
     }
+}
+
+/// One rep's fault-window placement and verdict — the per-cell record
+/// of detection rate versus window position. For a ◐ partial cell this
+/// is the sensitivity evidence: *which* activation phases the loop
+/// catches and which slip past.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowDetection {
+    /// The fault window's start as a fraction of the run horizon.
+    pub window_from: f64,
+    /// Whether this rep's fault was detected.
+    pub detected: bool,
 }
 
 /// One cell's chaos-agnostic summary: the matrix coordinates (stable
@@ -98,6 +120,9 @@ pub struct E18Cell {
     pub collateral_lost_presses: u64,
     /// Errors detected by the cell's fault-free twin (false alarms).
     pub twin_detections: u64,
+    /// Per-rep window placement vs detection, in rep order — the
+    /// window-position sensitivity record.
+    pub window_detections: Vec<WindowDetection>,
     /// The cell's 64-bit replay fingerprint.
     pub fingerprint: u64,
 }
@@ -144,8 +169,9 @@ pub struct E18Report {
     pub matrix_deterministic: bool,
 }
 
-/// FNV-1a fold of the cell fingerprints (the matrix fingerprint).
-fn matrix_fingerprint(cells: &[E18Cell]) -> u64 {
+/// FNV-1a fold of the cell fingerprints (the matrix fingerprint; E19
+/// reuses it for the probes-on grid).
+pub fn matrix_fingerprint(cells: &[E18Cell]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut mix = |v: u64| {
         h ^= v;
@@ -487,6 +513,18 @@ pub fn baseline_json(report: &E18Report) -> Json {
                     cell.collateral_lost_presses.into(),
                 )
                 .field("twin_detections", cell.twin_detections.into())
+                .field("window_detections", {
+                    let windows: Vec<Json> = cell
+                        .window_detections
+                        .iter()
+                        .map(|w| {
+                            Json::object()
+                                .field("window_from", w.window_from.into())
+                                .field("detected", w.detected.into())
+                        })
+                        .collect();
+                    windows.into()
+                })
                 .field("fingerprint", format!("{:016x}", cell.fingerprint).into()),
         );
     }
@@ -525,6 +563,12 @@ mod tests {
             mttr_p95_ns: 0,
             collateral_lost_presses: 0,
             twin_detections: 0,
+            window_detections: (0..2)
+                .map(|rep| WindowDetection {
+                    window_from: 0.2 + 0.3 * (rep as f64 / 2.0),
+                    detected: rep < detected,
+                })
+                .collect(),
             fingerprint: 0xABCD ^ fault.len() as u64 ^ (detected as u64) << 8,
         }
     }
@@ -545,6 +589,8 @@ mod tests {
             reps: 2,
             scenario_len: 8,
             quick: true,
+            probes: false,
+            adaptive: false,
         }
     }
 

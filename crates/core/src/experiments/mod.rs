@@ -21,6 +21,7 @@
 //! | E16 | §4.5    | micro-reboot recovery beats whole-system restart MTTR ≥2x |
 //! | E17 | §4.7    | parallel campaign fleets scale throughput, fingerprint-identical |
 //! | E18 | §6      | dependability scorecard: fault × workload × recovery coverage matrix |
+//! | E19 | §4.1/§6 | active health observatory closes the scorecard's blind cells |
 //!
 //! Every module exposes a `run(...)` returning a serializable report with
 //! a `Display` rendering the paper-style table; `crates/bench` wraps each
@@ -35,6 +36,7 @@ pub mod e15_telemetry_overhead;
 pub mod e16_microreboot_mttr;
 pub mod e17_fleet_throughput;
 pub mod e18_scorecard;
+pub mod e19_active_probes;
 pub mod e1_spectra;
 pub mod e2_comparator;
 pub mod e3_mode_consistency;

@@ -58,7 +58,8 @@ pub mod report;
 pub mod scenario;
 
 pub use loop_::{
-    ChannelAudit, LoopOutcome, TvDependabilityLoop, UnitRecoveryConfig, UnitRecoveryStyle,
+    ChannelAudit, LoopOutcome, ProbesConfig, TvDependabilityLoop, UnitRecoveryConfig,
+    UnitRecoveryStyle,
 };
 pub use scenario::TimedScenario;
 
@@ -80,7 +81,8 @@ pub use tvsim;
 /// Convenient imports for examples and experiment code.
 pub mod prelude {
     pub use crate::loop_::{
-        ChannelAudit, LoopOutcome, TvDependabilityLoop, UnitRecoveryConfig, UnitRecoveryStyle,
+        ChannelAudit, LoopOutcome, ProbesConfig, TvDependabilityLoop, UnitRecoveryConfig,
+        UnitRecoveryStyle,
     };
     pub use crate::scenario::TimedScenario;
     pub use crate::{experiments, faults};

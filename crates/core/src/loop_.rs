@@ -6,11 +6,14 @@
 //! loop* adds the awareness monitor, complementary detectors, and a
 //! correction strategy.
 
-use awareness::{CompareSpec, Configuration, DiagnosisConfig, MonitorBuilder, SupervisorConfig};
+use awareness::{
+    AwarenessMonitor, CompareSpec, Configuration, DeadlineMonitor, DetectedError, DiagnosisConfig,
+    MonitorBuilder, ProbeConfig, ProbeFiring, ProbeScheduler, SupervisorConfig,
+};
 use detect::{ConsistencyRule, Detector, ErrorEvent, ModeConsistencyDetector};
 use faults::injector::Transition;
 use faults::{Injector, Schedule};
-use observe::{ObsValue, Observation};
+use observe::{ObsValue, Observation, ObservationKind};
 use recovery::{CheckpointVault, RestoreOutcome};
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimRng, SimTime};
@@ -120,6 +123,86 @@ impl UnitRecoveryConfig {
         }
     }
 }
+
+/// Configuration for the active observability layer (the health
+/// observatory): synthetic self-check probes fired into idle windows,
+/// the sleep-timer deadline monitor, and the menu/swivel mode
+/// witnesses. Installed via [`TvDependabilityLoop::active_probes`];
+/// closed loop only (the open loop has no monitor to raise verdicts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbesConfig {
+    /// Maximum heartbeat silence from the armed sleep-timer service
+    /// before the deadline monitor alarms.
+    pub heartbeat_deadline: SimDuration,
+    /// Slack past the announced sleep-timer fire time before a missed
+    /// expiry alarms.
+    pub fire_grace: SimDuration,
+    /// Fire a probe every Nth idle window (1 = every window).
+    pub every_windows: usize,
+}
+
+impl ProbesConfig {
+    /// Standard observatory: 300 ms heartbeat deadline (three idle
+    /// windows of silence), 1 s fire grace, a probe in every window.
+    pub fn standard() -> Self {
+        ProbesConfig {
+            heartbeat_deadline: SimDuration::from_millis(300),
+            fire_grace: SimDuration::from_secs(1),
+            every_windows: 1,
+        }
+    }
+}
+
+impl Default for ProbesConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// The registered self-check sequences, in rotation order. Each probe
+/// nudges a dormant function and restores (or symmetrically perturbs)
+/// its state, so the model executor tracks the SUO exactly and only a
+/// fault produces a comparator verdict.
+const PROBE_PLANS: &[(&str, &[Key])] = &[
+    ("sleep-timer", &[Key::Sleep]),
+    (
+        "volume-nudge",
+        &[Key::VolUp, Key::VolDown, Key::Mute, Key::Mute],
+    ),
+    (
+        "teletext-roundtrip",
+        &[
+            Key::Teletext,
+            Key::Digit(1),
+            Key::Digit(2),
+            Key::Digit(3),
+            Key::Teletext,
+        ],
+    ),
+    ("menu-toggle", &[Key::Menu, Key::Back]),
+    ("swivel-jog", &[Key::SwivelRight, Key::SwivelLeft]),
+    ("channel-flip", &[Key::ChannelUp, Key::ChannelDown]),
+];
+
+/// Per-kind fired counters (flight-recorder names must be `'static`).
+pub const PROBE_FIRED: [&str; 6] = [
+    "core.probes.fired.sleep-timer",
+    "core.probes.fired.volume-nudge",
+    "core.probes.fired.teletext-roundtrip",
+    "core.probes.fired.menu-toggle",
+    "core.probes.fired.swivel-jog",
+    "core.probes.fired.channel-flip",
+];
+
+/// Per-kind verdict transition streams.
+const PROBE_VERDICT: [&str; 6] = [
+    "core.probes.verdict.sleep-timer",
+    "core.probes.verdict.volume-nudge",
+    "core.probes.verdict.teletext-roundtrip",
+    "core.probes.verdict.menu-toggle",
+    "core.probes.verdict.swivel-jog",
+    "core.probes.verdict.channel-flip",
+];
 
 /// The outcome of running a scenario through the loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -286,6 +369,283 @@ fn observable_unit(observable: &str) -> Option<&'static str> {
         o if o.starts_with("teletext.") => Some("teletext"),
         _ => None,
     }
+}
+
+/// Maps a detector-raised error to the pipeline unit it indicts: mode
+/// witnesses name their subsystem, the legacy teletext sync rule the
+/// decoder, and the sleep-timer watchdog/deadline alarms the timer
+/// service.
+fn detector_unit(detector: &str) -> Option<&'static str> {
+    match detector {
+        "mode-consistency:menu-witness" => Some("screen"),
+        "mode-consistency:swivel-witness" => Some("swivel"),
+        d if d.starts_with("mode-consistency") => Some("teletext"),
+        d if d.starts_with("watchdog:sleep.timer") || d.starts_with("deadline:sleep.timer") => {
+            Some("sleep")
+        }
+        _ => None,
+    }
+}
+
+/// The correction strategy, shared by the user-press path and the probe
+/// bursts: attribute every error to the pipeline unit it indicts, then
+/// either reboot structurally ([`RecoveryState`]) or apply the targeted
+/// repairs. Repair/announcement observations are appended to
+/// `repair_obs` for the caller to mirror and re-offer.
+#[allow(clippy::too_many_arguments)]
+fn correct_errors(
+    detector_errors: &[ErrorEvent],
+    comparator_errors: &[DetectedError],
+    settle: SimTime,
+    tv: &mut TvSystem,
+    recovery: &mut Option<RecoveryState>,
+    ref_state: &BTreeMap<String, Value>,
+    repair_obs: &mut Vec<Observation>,
+    outcome: &mut LoopOutcome,
+    telemetry: &Telemetry,
+) {
+    if let Some(rs) = recovery.as_mut() {
+        // Structural recovery: reboot the faulty unit (micro) or the
+        // whole TV (full restart).
+        let mut faulty: BTreeSet<&'static str> = BTreeSet::new();
+        for err in detector_errors {
+            if let Some(unit) = detector_unit(&err.detector) {
+                faulty.insert(unit);
+            }
+        }
+        for err in comparator_errors {
+            if let Some(unit) = observable_unit(&err.observable) {
+                faulty.insert(unit);
+            }
+        }
+        // Indicted units are no longer checkpoint-clean.
+        for unit in &faulty {
+            rs.dirty.insert(unit);
+        }
+        if let Some(&unit) = faulty.iter().next() {
+            if settle >= rs.next_allowed {
+                rs.recover(tv, settle, unit, outcome, telemetry, repair_obs);
+            }
+        }
+    } else {
+        let mut resynced = false;
+        for err in detector_errors {
+            if err.detector == "mode-consistency:txt-sync" && !resynced {
+                repair_obs.extend(tv.resync_teletext(settle));
+                resynced = true;
+                outcome.recoveries += 1;
+            }
+        }
+        for err in comparator_errors {
+            match err.observable.as_str() {
+                "audio.muted" | "volume" => {
+                    let want_muted = ref_state
+                        .get("audio.muted")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false);
+                    repair_obs.extend(tv.force_audio(settle, want_muted));
+                    outcome.recoveries += 1;
+                }
+                "teletext.page" | "screen.mode" if !resynced => {
+                    repair_obs.extend(tv.resync_teletext(settle));
+                    resynced = true;
+                    outcome.recoveries += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Per-run state of the active health observatory: the probe rotation,
+/// the sleep-timer deadline monitor, and the last verdict per probe
+/// kind (for telemetry verdict-transition streams).
+struct ProbeRuntime {
+    scheduler: ProbeScheduler<Key>,
+    deadline: DeadlineMonitor,
+    verdicts: [&'static str; 6],
+}
+
+impl ProbeRuntime {
+    fn new(config: &ProbesConfig) -> Self {
+        let mut scheduler = ProbeScheduler::new(ProbeConfig {
+            every_windows: config.every_windows,
+            ..ProbeConfig::default()
+        });
+        for (kind, keys) in PROBE_PLANS {
+            scheduler.register(kind, keys.to_vec());
+        }
+        ProbeRuntime {
+            scheduler,
+            deadline: DeadlineMonitor::new(config.heartbeat_deadline, config.fire_grace),
+            verdicts: ["pass"; 6],
+        }
+    }
+}
+
+/// Builds a mode-witness observation (fed to the consistency detector
+/// only — witnesses are in-situ samples, not boundary traffic).
+/// True when firing `kind` right now would disturb a foreground mode
+/// the user currently has active (teletext page state, an open menu).
+/// An idle-time prober must leave foreground state alone: a deferred
+/// slot is consumed from the rotation (keeping the schedule
+/// deterministic) but its keys are never pressed.
+fn probe_disturbs(tv: &TvSystem, kind: &str) -> bool {
+    match kind {
+        "teletext-roundtrip" | "channel-flip" => tv.teletext().is_on(),
+        "menu-toggle" => tv.osd_has_focus(),
+        _ => false,
+    }
+}
+
+fn witness_obs(at: SimTime, component: &str, mode: &str) -> Observation {
+    Observation::new(
+        at,
+        component,
+        ObservationKind::Mode {
+            component: component.to_owned(),
+            mode: mode.to_owned(),
+        },
+    )
+}
+
+/// Runs one probe burst inside an idle window: presses the synthetic
+/// keys through both the SUO and the oracle, samples the mode
+/// witnesses and the timer heartbeat, lets the comparator settle,
+/// corrects exactly like the user-press path, and finally scrubs the
+/// burst's block coverage and error baseline out of the spectra record
+/// so diagnosis ranking stays probe-free. Returns the errors detected
+/// and the burst's settle time.
+#[allow(clippy::too_many_arguments)]
+fn run_probe_burst(
+    firing: &ProbeFiring<Key>,
+    deadline: &mut DeadlineMonitor,
+    tv: &mut TvSystem,
+    oracle: &mut Executor<'_>,
+    monitor: &mut AwarenessMonitor,
+    mode_detector: &mut ModeConsistencyDetector,
+    recovery: &mut Option<RecoveryState>,
+    ref_state: &mut BTreeMap<String, Value>,
+    sys_state: &mut BTreeMap<String, ObsValue>,
+    scratch: &mut StepScratch,
+    outcome: &mut LoopOutcome,
+    telemetry: &Telemetry,
+) -> (usize, SimTime) {
+    scratch.detector_errors.clear();
+    for (at, key) in &firing.keys {
+        // A probe aimed at a unit inside a reboot outage is skipped on
+        // *both* the SUO and the oracle — symmetric, so the comparator
+        // sees no synthetic divergence from the outage itself.
+        let serving = tv.serving_unit(*key);
+        if recovery.as_ref().is_some_and(|rs| rs.is_down(*at, serving)) {
+            telemetry.count(*at, "core.probes.skipped_keys", 1);
+            continue;
+        }
+        let observations = tv.press(*at, *key);
+        if let Some(rs) = recovery.as_mut() {
+            // Journaled like user presses: a later micro-reboot must
+            // replay probe-caused state onto the restored checkpoint.
+            rs.journal.entry(serving).or_default().push(*key);
+        }
+        for obs in &observations {
+            if let Some((name, value)) = obs.as_output() {
+                mirror_output(sys_state, name, value);
+            }
+        }
+        let event = match key.payload() {
+            Some(p) => Event::with_payload(key.event_name(), p),
+            None => Event::plain(key.event_name()),
+        };
+        oracle.step_at(*at, &event);
+        scratch.oracle_outputs.clear();
+        oracle.drain_outputs_into(&mut scratch.oracle_outputs);
+        for rec in scratch.oracle_outputs.drain(..) {
+            match ref_state.get_mut(&rec.name) {
+                Some(slot) => *slot = rec.value,
+                None => {
+                    ref_state.insert(rec.name, rec.value);
+                }
+            }
+        }
+        for obs in &observations {
+            monitor.offer(obs);
+            scratch.detector_errors.extend(mode_detector.observe(obs));
+            deadline.observe(obs);
+        }
+    }
+    let last_at = firing.keys.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO);
+    let settle = last_at + SimDuration::from_millis(20);
+
+    // Mode witnesses: assert the probe's postcondition against the live
+    // mode map, then retire the assertion so unrelated later mode
+    // traffic cannot re-trigger it.
+    match firing.kind {
+        "menu-toggle" => {
+            // The open/close round-trip must leave no OSD on screen.
+            scratch
+                .detector_errors
+                .extend(mode_detector.observe(&witness_obs(settle, "osd.intent", "closed")));
+            let _ = mode_detector.observe(&witness_obs(settle, "osd.intent", "idle"));
+        }
+        "swivel-jog" => {
+            for obs in tv.witness_swivel(settle) {
+                scratch.detector_errors.extend(mode_detector.observe(&obs));
+                deadline.observe(&obs);
+            }
+            let _ = mode_detector.observe(&witness_obs(settle, "swivel.motor", "busy"));
+        }
+        _ => {}
+    }
+
+    // Timer-service liveness: sample the heartbeat and check the armed
+    // obligations, unless the timer unit is itself inside an outage.
+    let sleep_up = recovery
+        .as_ref()
+        .is_none_or(|rs| !rs.is_down(settle, "sleep"));
+    if sleep_up {
+        for hb in tv.timer_heartbeat(settle) {
+            deadline.observe(&hb);
+        }
+        scratch.detector_errors.extend(deadline.tick(settle));
+    }
+
+    monitor.advance_to(settle);
+    let comparator_errors = monitor.drain_errors();
+    let n_errors = comparator_errors.len() + scratch.detector_errors.len();
+    if n_errors > 0 {
+        outcome.detected_errors += n_errors;
+        telemetry.count(settle, "core.probes.detections", n_errors as i64);
+    }
+    scratch.repair_obs.clear();
+    correct_errors(
+        &scratch.detector_errors,
+        &comparator_errors,
+        settle,
+        tv,
+        recovery,
+        ref_state,
+        &mut scratch.repair_obs,
+        outcome,
+        telemetry,
+    );
+    for obs in scratch.repair_obs.iter() {
+        if let Some((name, value)) = obs.as_output() {
+            mirror_output(sys_state, name, value);
+        }
+        monitor.offer(obs);
+        let _ = mode_detector.observe(obs);
+        deadline.observe(obs);
+    }
+    if !scratch.repair_obs.is_empty() {
+        monitor.advance_to(settle + SimDuration::from_millis(5));
+        let _ = monitor.drain_errors();
+    }
+    // Spectra hygiene: probe presses are synthetic traffic. Drop their
+    // block coverage and absorb their error count, so the next user
+    // press's spectrum step reflects only its own behaviour.
+    let _ = tv.take_coverage();
+    monitor.absorb_synthetic_errors();
+    (n_errors, settle)
 }
 
 /// Per-run bookkeeping for structural unit recovery: the checkpoint
@@ -465,6 +825,7 @@ pub struct TvDependabilityLoop {
     supervision: Option<SupervisorConfig>,
     online_diagnosis_k: Option<usize>,
     unit_recovery: Option<UnitRecoveryConfig>,
+    probes: Option<ProbesConfig>,
     telemetry: Telemetry,
 }
 
@@ -492,6 +853,7 @@ impl TvDependabilityLoop {
             supervision: None,
             online_diagnosis_k: None,
             unit_recovery: None,
+            probes: None,
             telemetry: Telemetry::off(),
         }
     }
@@ -545,6 +907,17 @@ impl TvDependabilityLoop {
         self.unit_recovery = Some(config);
     }
 
+    /// Installs the active health observatory: deterministic self-check
+    /// probes in the idle windows between presses, the sleep-timer
+    /// deadline monitor, and mode witnesses for the menu and swivel
+    /// subsystems. Probe divergence raises normal comparator/detector
+    /// verdicts and feeds the same correction strategy as user-visible
+    /// errors; probe block coverage and probe-raised errors are kept
+    /// out of the spectra diagnosis. Closed loop only.
+    pub fn active_probes(&mut self, config: ProbesConfig) {
+        self.probes = Some(config);
+    }
+
     /// Enables in-loop spectrum diagnosis with a `top_k`-sized suspect
     /// window: each press's block coverage becomes one spectrum step,
     /// comparator errors mark the step failing, and every failing step
@@ -594,8 +967,41 @@ impl TvDependabilityLoop {
                 "decoder",
                 ["teletext"],
             ));
+            if self.probes.is_some() {
+                // Witness rules are only consulted when the observatory
+                // emits its witness observations, so they ride the same
+                // detector without changing probe-free behaviour.
+                d.add_rule(ConsistencyRule::new(
+                    "menu-witness",
+                    "osd.intent",
+                    "closed",
+                    "scaler",
+                    [
+                        "video",
+                        "teletext",
+                        "dual",
+                        "dual+teletext",
+                        "pip",
+                        "epg",
+                        "off",
+                    ],
+                ));
+                d.add_rule(ConsistencyRule::new(
+                    "swivel-witness",
+                    "swivel.motor",
+                    "idle",
+                    "swivel.cmd",
+                    ["converged"],
+                ));
+            }
             d
         });
+
+        // The active health observatory (closed loop only).
+        let mut probes = self
+            .closed
+            .then(|| self.probes.as_ref().map(ProbeRuntime::new))
+            .flatten();
 
         // Structural unit recovery (closed loop only): checkpoint vault,
         // press journals, outage tracking.
@@ -632,7 +1038,61 @@ impl TvDependabilityLoop {
         // instead of fresh vectors on every press.
         let mut scratch = StepScratch::default();
 
+        let mut prev_press_at: Option<SimTime> = None;
         for (i, (at, key)) in scenario.presses().iter().enumerate() {
+            // Idle-window probing: the observatory fires its next
+            // self-check into the settled gap left by the previous
+            // press, before this press's fault edges and traffic.
+            if let (Some(prev), Some(pr), Some(monitor), Some(mode_detector)) = (
+                prev_press_at,
+                probes.as_mut(),
+                monitor.as_mut(),
+                mode_detector.as_mut(),
+            ) {
+                let window_start = prev + SimDuration::from_millis(25);
+                if let Some(firing) = pr.scheduler.plan_window(window_start, *at) {
+                    let fired_at = firing.keys[0].0;
+                    if probe_disturbs(&tv, firing.kind) {
+                        self.telemetry.count(fired_at, "core.probes.deferred", 1);
+                    } else {
+                        self.telemetry.span_enter(fired_at, "core.probes.burst");
+                        let (n_errors, settle) = run_probe_burst(
+                            &firing,
+                            &mut pr.deadline,
+                            &mut tv,
+                            &mut oracle,
+                            monitor,
+                            mode_detector,
+                            &mut recovery,
+                            &mut ref_state,
+                            &mut sys_state,
+                            &mut scratch,
+                            &mut outcome,
+                            &self.telemetry,
+                        );
+                        if n_errors > 0 {
+                            first_detect_at.get_or_insert(settle);
+                        }
+                        self.telemetry.count(settle, PROBE_FIRED[firing.plan], 1);
+                        self.telemetry.observe_ns(
+                            "core.probes.latency_ns",
+                            settle.since(fired_at).as_nanos(),
+                        );
+                        let verdict = if n_errors > 0 { "divergent" } else { "pass" };
+                        if pr.verdicts[firing.plan] != verdict {
+                            self.telemetry.transition(
+                                settle,
+                                PROBE_VERDICT[firing.plan],
+                                pr.verdicts[firing.plan],
+                                verdict,
+                            );
+                            pr.verdicts[firing.plan] = verdict;
+                        }
+                        self.telemetry.span_exit(settle, "core.probes.burst");
+                    }
+                }
+            }
+            prev_press_at = Some(*at);
             self.telemetry.span_enter(*at, "core.loop.step");
             // Fault schedule edges.
             for edge in self.injector.poll(*at, i as u64) {
@@ -714,11 +1174,27 @@ impl TvDependabilityLoop {
                 for obs in &observations {
                     monitor.offer(obs);
                     scratch.detector_errors.extend(mode_detector.observe(obs));
+                    if let Some(pr) = probes.as_mut() {
+                        pr.deadline.observe(obs);
+                    }
                 }
-                let detector_errors = &scratch.detector_errors;
                 // Let channel deliveries and comparisons happen before the
                 // next press.
                 let settle = *at + SimDuration::from_millis(20);
+                // Timer-service liveness rides every settled press too,
+                // so obligations are checked even between probe windows.
+                if let Some(pr) = probes.as_mut() {
+                    let sleep_up = recovery
+                        .as_ref()
+                        .is_none_or(|rs| !rs.is_down(settle, "sleep"));
+                    if sleep_up {
+                        for hb in tv.timer_heartbeat(settle) {
+                            pr.deadline.observe(&hb);
+                        }
+                        scratch.detector_errors.extend(pr.deadline.tick(settle));
+                    }
+                }
+                let detector_errors = &scratch.detector_errors;
                 monitor.advance_to(settle);
                 let comparator_errors = monitor.drain_errors();
                 // One spectrum step per press: snapshot the coverage now so
@@ -735,74 +1211,30 @@ impl TvDependabilityLoop {
                         .count(settle, "core.loop.detections", n_errors as i64);
                 }
                 let recoveries_before = outcome.recoveries;
-                // Correction strategy: map errors to SUO repair actions.
+                // Correction strategy: map errors to SUO repair actions
+                // (shared with the probe-burst path).
                 scratch.repair_obs.clear();
+                correct_errors(
+                    &scratch.detector_errors,
+                    &comparator_errors,
+                    settle,
+                    &mut tv,
+                    &mut recovery,
+                    &ref_state,
+                    &mut scratch.repair_obs,
+                    &mut outcome,
+                    &self.telemetry,
+                );
                 let repair_obs = &mut scratch.repair_obs;
-                if let Some(rs) = recovery.as_mut() {
-                    // Structural recovery: attribute every error to the
-                    // pipeline unit it indicts, then reboot the faulty
-                    // unit (micro) or the whole TV (full restart).
-                    let mut faulty: BTreeSet<&'static str> = BTreeSet::new();
-                    for err in detector_errors {
-                        if err.detector.starts_with("mode-consistency") {
-                            faulty.insert("teletext");
-                        }
-                    }
-                    for err in &comparator_errors {
-                        if let Some(unit) = observable_unit(&err.observable) {
-                            faulty.insert(unit);
-                        }
-                    }
-                    // Indicted units are no longer checkpoint-clean.
-                    for unit in &faulty {
-                        rs.dirty.insert(unit);
-                    }
-                    if let Some(&unit) = faulty.iter().next() {
-                        if settle >= rs.next_allowed {
-                            rs.recover(
-                                &mut tv,
-                                settle,
-                                unit,
-                                &mut outcome,
-                                &self.telemetry,
-                                repair_obs,
-                            );
-                        }
-                    }
-                } else {
-                    let mut resynced = false;
-                    for err in detector_errors {
-                        if err.detector.starts_with("mode-consistency") && !resynced {
-                            repair_obs.extend(tv.resync_teletext(settle));
-                            resynced = true;
-                            outcome.recoveries += 1;
-                        }
-                    }
-                    for err in &comparator_errors {
-                        match err.observable.as_str() {
-                            "audio.muted" | "volume" => {
-                                let want_muted = ref_state
-                                    .get("audio.muted")
-                                    .and_then(Value::as_bool)
-                                    .unwrap_or(false);
-                                repair_obs.extend(tv.force_audio(settle, want_muted));
-                                outcome.recoveries += 1;
-                            }
-                            "teletext.page" | "screen.mode" if !resynced => {
-                                repair_obs.extend(tv.resync_teletext(settle));
-                                resynced = true;
-                                outcome.recoveries += 1;
-                            }
-                            _ => {}
-                        }
-                    }
-                }
                 for obs in repair_obs.iter() {
                     if let Some((name, value)) = obs.as_output() {
                         mirror_output(&mut sys_state, name, value);
                     }
                     monitor.offer(obs);
                     let _ = mode_detector.observe(obs);
+                    if let Some(pr) = probes.as_mut() {
+                        pr.deadline.observe(obs);
+                    }
                 }
                 let repairs = (outcome.recoveries - recoveries_before) as i64;
                 if repairs > 0 {
@@ -860,6 +1292,27 @@ impl TvDependabilityLoop {
                 *at
             };
             self.telemetry.span_exit(step_end, "core.loop.step");
+        }
+
+        // Obligation epilogue: an armed sleep timer must still fire past
+        // the last press. The expiry is driven on the TV alone and fed
+        // only to the deadline monitor — the spec machine does not model
+        // autonomous power-down, so routing it through the comparator
+        // would raise a phantom divergence on healthy twins.
+        if let Some(pr) = probes.as_mut() {
+            if let Some(due) = pr.deadline.fire_deadline() {
+                for obs in tv.tick(due) {
+                    pr.deadline.observe(&obs);
+                }
+                let late = due + SimDuration::from_millis(1);
+                let missed = pr.deadline.tick(late);
+                if !missed.is_empty() {
+                    outcome.detected_errors += missed.len();
+                    first_detect_at.get_or_insert(late);
+                    self.telemetry
+                        .count(late, "core.probes.detections", missed.len() as i64);
+                }
+            }
         }
 
         outcome.detection_latency = match (first_fault_at, first_detect_at) {
@@ -1217,5 +1670,114 @@ mod tests {
         assert_eq!(events_a, events_b, "event timelines diverged");
         assert_eq!(metrics_a, metrics_b, "metrics readouts diverged");
         assert!(!events_a.is_empty());
+    }
+
+    #[test]
+    fn probes_on_fault_free_run_stay_silent() {
+        let telemetry = Telemetry::recording(16_384);
+        let mut looped = TvDependabilityLoop::closed(1);
+        looped.set_telemetry(telemetry.clone());
+        looped.active_probes(ProbesConfig::standard());
+        let outcome = looped.run(&TimedScenario::idle_session(30));
+        // The observatory exercised the set but a healthy TV and its
+        // model agree on every synthetic press: zero verdict changes.
+        assert_eq!(outcome.failure_steps, 0, "{outcome:?}");
+        assert_eq!(outcome.detected_errors, 0, "{outcome:?}");
+        assert_eq!(outcome.recoveries, 0);
+        let fired: i64 = PROBE_FIRED.iter().map(|name| telemetry.counter(name)).sum();
+        assert!(fired >= 24, "expected a probe per idle window, got {fired}");
+        for name in PROBE_FIRED {
+            assert!(telemetry.counter(name) >= 1, "{name} never fired");
+        }
+        assert_eq!(telemetry.counter("core.probes.detections"), 0);
+    }
+
+    #[test]
+    fn probes_detect_sleep_timer_lost_in_idle() {
+        // Without probes the idle workload never touches the sleep
+        // timer, so the lost-interrupt fault is undetectable: the blind
+        // cell the observatory exists to close.
+        let schedule = || Schedule::Between {
+            from: SimTime::from_millis(500),
+            to: SimTime::from_millis(2000),
+        };
+        let mut blind = TvDependabilityLoop::closed(3);
+        blind.schedule_fault(schedule(), TvFault::SleepTimerLost);
+        let blind_out = blind.run(&TimedScenario::idle_session(30));
+        assert_eq!(blind_out.detected_errors, 0, "{blind_out:?}");
+
+        let mut probed = TvDependabilityLoop::closed(3);
+        probed.schedule_fault(schedule(), TvFault::SleepTimerLost);
+        probed.active_probes(ProbesConfig::standard());
+        let probed_out = probed.run(&TimedScenario::idle_session(30));
+        assert!(probed_out.detected_errors > 0, "{probed_out:?}");
+        assert!(probed_out.detection_latency.is_some());
+    }
+
+    #[test]
+    fn probes_detect_stuck_swivel_in_idle() {
+        let mut blind = TvDependabilityLoop::closed(4);
+        blind.schedule_fault(Schedule::Always, TvFault::SwivelStuck);
+        let blind_out = blind.run(&TimedScenario::idle_session(30));
+        assert_eq!(blind_out.detected_errors, 0, "{blind_out:?}");
+
+        let mut probed = TvDependabilityLoop::closed(4);
+        probed.schedule_fault(Schedule::Always, TvFault::SwivelStuck);
+        probed.active_probes(ProbesConfig::standard());
+        let probed_out = probed.run(&TimedScenario::idle_session(30));
+        assert!(probed_out.detected_errors > 0, "{probed_out:?}");
+    }
+
+    #[test]
+    fn probes_detect_menu_freeze_in_idle() {
+        let mut probed = TvDependabilityLoop::closed(5);
+        probed.schedule_fault(Schedule::Always, TvFault::MenuFreeze);
+        probed.active_probes(ProbesConfig::standard());
+        let probed_out = probed.run(&TimedScenario::idle_session(30));
+        assert!(probed_out.detected_errors > 0, "{probed_out:?}");
+    }
+
+    #[test]
+    fn probe_runs_are_deterministic_per_seed() {
+        let run = || {
+            let telemetry = Telemetry::recording(16_384);
+            let mut looped = TvDependabilityLoop::closed(9);
+            looped.set_telemetry(telemetry.clone());
+            looped.schedule_fault(
+                Schedule::Between {
+                    from: SimTime::from_millis(400),
+                    to: SimTime::from_millis(1400),
+                },
+                TvFault::SleepTimerLost,
+            );
+            looped.active_probes(ProbesConfig::standard());
+            let outcome = looped.run(&TimedScenario::idle_session(30));
+            (outcome, telemetry.events_jsonl())
+        };
+        let (out_a, events_a) = run();
+        let (out_b, events_b) = run();
+        assert_eq!(out_a.detected_errors, out_b.detected_errors);
+        assert_eq!(out_a.failure_steps, out_b.failure_steps);
+        assert_eq!(events_a, events_b, "probe timelines diverged");
+    }
+
+    #[test]
+    fn probe_traffic_does_not_crowd_out_planted_fault_spectra() {
+        // Satellite regression: synthetic probe presses are excluded
+        // from coverage recording, so heavy probing must not dilute the
+        // spectra that localize a *real* fault exercised by the
+        // scenario itself.
+        let mut looped = TvDependabilityLoop::closed(1);
+        looped.schedule_fault(Schedule::Always, TvFault::TeletextRenderFault);
+        looped.diagnose_online(128);
+        looped.active_probes(ProbesConfig::standard());
+        let outcome = looped.run(&teletext_scenario());
+        assert!(outcome.diagnoses_triggered >= 1, "{outcome:?}");
+        let fault_block = tvsim::TvSystem::new().bank().teletext_fault_block();
+        assert!(
+            outcome.top_suspects.contains(&fault_block),
+            "fault block {fault_block} crowded out of suspects {:?}",
+            outcome.top_suspects
+        );
     }
 }

@@ -128,6 +128,13 @@ pub const SWIVEL_MAX: i64 = 45;
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Swivel {
     angle: i64,
+    /// The last commanded target angle — what the motor *should* be at.
+    /// Tracked regardless of faults so a mode witness can compare
+    /// command against actuation; not part of the micro-reboot
+    /// checkpoint (a restore re-bases the command on the restored
+    /// angle).
+    #[serde(default)]
+    last_cmd: i64,
 }
 
 impl Swivel {
@@ -141,16 +148,28 @@ impl Swivel {
         self.angle
     }
 
+    /// The last commanded target angle (clamped to the travel range).
+    pub fn last_cmd(&self) -> i64 {
+        self.last_cmd
+    }
+
+    /// True when the motor has reached the last commanded angle — the
+    /// mode witness's command-vs-actuation check.
+    pub fn converged(&self) -> bool {
+        self.last_cmd == self.angle
+    }
+
     /// Handles a swivel key; `left` selects direction.
     pub fn key(&mut self, ctx: &mut FeatureCtx<'_>, left: bool) {
         ctx.hit(BlockMap::SWIVEL);
+        let delta = if left { -SWIVEL_STEP } else { SWIVEL_STEP };
+        self.last_cmd = (self.angle + delta).clamp(-SWIVEL_MAX, SWIVEL_MAX);
         if ctx.faults.is_active(TvFault::SwivelStuck) {
             // Fault: the motor driver ignores the command.
             ctx.hit(BlockMap::SWIVEL + 1);
         } else {
             ctx.hit(BlockMap::SWIVEL + 2);
-            let delta = if left { -SWIVEL_STEP } else { SWIVEL_STEP };
-            self.angle = (self.angle + delta).clamp(-SWIVEL_MAX, SWIVEL_MAX);
+            self.angle = self.last_cmd;
         }
         ctx.exec(FirmwareOp::Motor, (self.angle + SWIVEL_MAX) as u32);
         ctx.output("swivel.angle", self.angle);
@@ -163,11 +182,14 @@ impl Swivel {
         s
     }
 
-    /// Micro-reboot restore: rebuilds the swivel from a checkpoint.
+    /// Micro-reboot restore: rebuilds the swivel from a checkpoint. The
+    /// command is re-based on the restored angle — a reboot clears any
+    /// pending (possibly fault-swallowed) motion.
     pub fn restore(&mut self, s: &std::collections::BTreeMap<String, f64>) {
         self.angle = s
             .get("angle")
             .map_or(0, |v| (*v as i64).clamp(-SWIVEL_MAX, SWIVEL_MAX));
+        self.last_cmd = self.angle;
     }
 }
 
@@ -251,5 +273,23 @@ mod tests {
         let mut sw = Swivel::new();
         with_ctx(SimTime::ZERO, &faults, |c| sw.key(c, false));
         assert_eq!(sw.angle(), 0, "motor must not move under the fault");
+        assert_eq!(sw.last_cmd(), 15, "the command itself was registered");
+        assert!(!sw.converged(), "witness sees command != actuation");
+    }
+
+    #[test]
+    fn swivel_restore_rebases_the_command() {
+        let faults = FaultSet::none();
+        let mut sw = Swivel::new();
+        with_ctx(SimTime::ZERO, &faults, |c| sw.key(c, false));
+        assert!(sw.converged());
+        let snap = sw.snapshot();
+        let mut stuck = FaultSet::none();
+        stuck.inject(TvFault::SwivelStuck);
+        with_ctx(SimTime::ZERO, &stuck, |c| sw.key(c, false));
+        assert!(!sw.converged());
+        sw.restore(&snap);
+        assert_eq!(sw.angle(), 15);
+        assert!(sw.converged(), "restore clears the pending command");
     }
 }

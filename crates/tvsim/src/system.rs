@@ -323,6 +323,64 @@ impl TvSystem {
         obs
     }
 
+    // ---- active-observability entry points -------------------------------
+
+    /// Samples the sleep-timer service's liveness heartbeat (active
+    /// probing, paper §4.1): while the set is on and a timer is armed,
+    /// the timer wheel reports its configured minutes from the
+    /// `sleep.timer` source. Under [`TvFault::SleepTimerLost`] the
+    /// mis-programmed wheel is silent — exactly the silence a
+    /// [`detect::WatchdogDetector`]-based deadline monitor alarms on.
+    /// Empty when the set is off or no timer is armed.
+    pub fn timer_heartbeat(&mut self, now: SimTime) -> Vec<Observation> {
+        if !self.on || !self.sleep.is_armed() || self.faults.is_active(TvFault::SleepTimerLost) {
+            return Vec::new();
+        }
+        vec![Observation::new(
+            now,
+            "sleep.timer",
+            ObservationKind::Value {
+                name: "sleep.heartbeat".into(),
+                value: self.sleep.minutes() as f64,
+            },
+        )]
+    }
+
+    /// Samples the swivel mode witness: command-vs-actuation
+    /// consistency as two mode observations — `swivel.cmd` is
+    /// `converged` when the motor reached its last commanded angle
+    /// (`pending` otherwise, the [`TvFault::SwivelStuck`] signature),
+    /// then `swivel.motor` reports `idle`, which is what a
+    /// mode-consistency rule keys its check off. Empty in standby.
+    pub fn witness_swivel(&mut self, now: SimTime) -> Vec<Observation> {
+        if !self.on {
+            return Vec::new();
+        }
+        let cmd = if self.swivel.converged() {
+            "converged"
+        } else {
+            "pending"
+        };
+        let mut obs = Vec::new();
+        let mut ctx = FeatureCtx {
+            now,
+            cov: &mut self.cov,
+            bank: &self.bank,
+            faults: &self.faults,
+            obs: &mut obs,
+        };
+        ctx.mode("swivel.cmd", cmd);
+        ctx.mode("swivel.motor", "idle");
+        obs
+    }
+
+    /// True while an on-screen display (menu or EPG) holds input focus
+    /// — the menu witness's ground truth after a probe's open/close
+    /// round-trip.
+    pub fn osd_has_focus(&self) -> bool {
+        self.screen.osd_has_focus()
+    }
+
     // ---- micro-reboot units ----------------------------------------------
 
     /// The independently restartable pipeline units, in checkpoint order.
@@ -541,6 +599,51 @@ mod tests {
         tv.press(SimTime::ZERO, Key::Power);
         tv.take_coverage();
         tv
+    }
+
+    #[test]
+    fn timer_heartbeat_tracks_arming_and_fault() {
+        let mut tv = on_tv();
+        assert!(
+            tv.timer_heartbeat(SimTime::ZERO).is_empty(),
+            "no heartbeat while disarmed"
+        );
+        tv.press(SimTime::ZERO, Key::Sleep);
+        let hb = tv.timer_heartbeat(SimTime::from_millis(50));
+        assert_eq!(hb.len(), 1);
+        assert_eq!(hb[0].source, "sleep.timer");
+        tv.inject_fault(TvFault::SleepTimerLost);
+        assert!(
+            tv.timer_heartbeat(SimTime::from_millis(100)).is_empty(),
+            "the lost interrupt silences the heartbeat"
+        );
+        tv.clear_fault(TvFault::SleepTimerLost);
+        assert_eq!(tv.timer_heartbeat(SimTime::from_millis(150)).len(), 1);
+    }
+
+    #[test]
+    fn swivel_witness_reports_convergence() {
+        let mut tv = on_tv();
+        let obs = tv.witness_swivel(SimTime::ZERO);
+        assert_eq!(obs.len(), 2);
+        assert!(matches!(
+            &obs[0].kind,
+            ObservationKind::Mode { component, mode }
+                if component == "swivel.cmd" && mode == "converged"
+        ));
+        tv.inject_fault(TvFault::SwivelStuck);
+        tv.press(SimTime::ZERO, Key::SwivelRight);
+        let obs = tv.witness_swivel(SimTime::ZERO);
+        assert!(matches!(
+            &obs[0].kind,
+            ObservationKind::Mode { component, mode }
+                if component == "swivel.cmd" && mode == "pending"
+        ));
+        assert!(matches!(
+            &obs[1].kind,
+            ObservationKind::Mode { component, mode }
+                if component == "swivel.motor" && mode == "idle"
+        ));
     }
 
     #[test]
